@@ -1,0 +1,62 @@
+//! # backfi-bench
+//!
+//! The benchmark/reproduction harness: one binary per table and figure of
+//! the paper's evaluation (§5–§6), plus criterion benches over the DSP
+//! kernels and the end-to-end pipeline.
+//!
+//! Run a figure with e.g. `cargo run --release -p backfi-bench --bin
+//! fig08_throughput_vs_range`. Every binary accepts `--quick` for a smoke
+//! run and prints the same rows/series the paper reports, alongside the
+//! paper's own numbers for comparison (recorded in EXPERIMENTS.md).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use backfi_core::figures::FigureBudget;
+
+/// Parse the common CLI convention: `--quick` selects the smoke budget,
+/// anything else (or nothing) the full reproduction budget.
+pub fn budget_from_args() -> FigureBudget {
+    if std::env::args().any(|a| a == "--quick") {
+        FigureBudget::quick()
+    } else {
+        FigureBudget::paper()
+    }
+}
+
+/// Format a bit/s figure the way the paper writes it (kbps/Mbps).
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e6 {
+        format!("{:.2} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1} Kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+/// Print a horizontal rule sized for the standard table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Print the standard experiment header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    rule(78);
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    rule(78);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bps_formatting() {
+        assert_eq!(fmt_bps(5.0e6), "5.00 Mbps");
+        assert_eq!(fmt_bps(6.67e6), "6.67 Mbps");
+        assert_eq!(fmt_bps(10e3), "10.0 Kbps");
+        assert_eq!(fmt_bps(500.0), "500 bps");
+    }
+}

@@ -1,0 +1,139 @@
+//! Receiver front end: ADC quantization and saturation.
+//!
+//! The reason BackFi needs an *analog* cancellation stage at all (§4.2) is
+//! the ADC: "Analog cancellation is necessary to ensure that the receiver's
+//! ADC is not saturated by self-interference which would drown out the weak
+//! backscatter signal before being received in baseband." This module models
+//! that constraint — a finite-resolution, finite-full-scale converter — so
+//! the ablation benches can show what happens without the analog stage.
+
+use backfi_dsp::Complex;
+
+/// A complex ADC pair (I and Q converters).
+#[derive(Clone, Copy, Debug)]
+pub struct Adc {
+    /// Bits of resolution per axis (WARP's AD9963 is 12-bit).
+    pub bits: u32,
+    /// Full-scale amplitude per axis in simulator units.
+    pub full_scale: f64,
+}
+
+impl Default for Adc {
+    fn default() -> Self {
+        // 12-bit converter whose full scale is set so the AGC'd residual
+        // after analog cancellation fits comfortably.
+        Adc { bits: 12, full_scale: 1.0e-2 }
+    }
+}
+
+impl Adc {
+    /// Quantization step per axis.
+    pub fn step(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Quantization noise power (per complex sample, both axes): `2·Δ²/12`.
+    pub fn quantization_noise_power(&self) -> f64 {
+        let d = self.step();
+        2.0 * d * d / 12.0
+    }
+
+    /// Dynamic range in dB (6.02 dB per bit).
+    pub fn dynamic_range_db(&self) -> f64 {
+        6.02 * self.bits as f64
+    }
+
+    /// Convert one sample: clip to full scale, then round to the grid.
+    pub fn sample(&self, x: Complex) -> Complex {
+        Complex::new(self.axis(x.re), self.axis(x.im))
+    }
+
+    /// Convert a block.
+    pub fn convert(&self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| self.sample(v)).collect()
+    }
+
+    /// Fraction of samples in a block that hit the rails (saturation
+    /// indicator — a real AGC would watch this).
+    pub fn clip_fraction(&self, x: &[Complex]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        let n = x
+            .iter()
+            .filter(|v| v.re.abs() >= self.full_scale || v.im.abs() >= self.full_scale)
+            .count();
+        n as f64 / x.len() as f64
+    }
+
+    fn axis(&self, v: f64) -> f64 {
+        let clipped = v.clamp(-self.full_scale, self.full_scale);
+        let d = self.step();
+        (clipped / d).round() * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_dsp::noise::cgauss_vec;
+    use backfi_dsp::stats::mean_power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_signals_survive() {
+        let adc = Adc { bits: 12, full_scale: 1.0 };
+        let x = Complex::new(0.5, -0.25);
+        let y = adc.sample(x);
+        assert!((x - y).abs() < adc.step());
+    }
+
+    #[test]
+    fn saturation_clips() {
+        let adc = Adc { bits: 12, full_scale: 1.0 };
+        let y = adc.sample(Complex::new(5.0, -7.0));
+        assert!((y.re - 1.0).abs() < 1e-9);
+        assert!((y.im + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantization_noise_matches_model() {
+        let adc = Adc { bits: 10, full_scale: 1.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        // Uniform-ish complex signal well inside full scale.
+        let x = cgauss_vec(&mut rng, 100_000, 0.05);
+        let y = adc.convert(&x);
+        let err: Vec<Complex> = x.iter().zip(&y).map(|(a, b)| *a - *b).collect();
+        let measured = mean_power(&err);
+        let model = adc.quantization_noise_power();
+        assert!(
+            (measured / model - 1.0).abs() < 0.15,
+            "measured {measured:e} model {model:e}"
+        );
+    }
+
+    #[test]
+    fn clip_fraction_detects_overdrive() {
+        let adc = Adc { bits: 8, full_scale: 0.1 };
+        let quiet = vec![Complex::new(0.01, 0.0); 100];
+        assert_eq!(adc.clip_fraction(&quiet), 0.0);
+        let loud = vec![Complex::new(1.0, 0.0); 100];
+        assert!((adc.clip_fraction(&loud) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncancelled_si_saturates_default_adc() {
+        // The paper's premise: without analog cancellation, 0 dBm of leakage
+        // saturates a converter scaled for microwatt residues.
+        let adc = Adc::default();
+        let si = vec![Complex::new(0.7, 0.7); 64]; // ~0 dBm leakage
+        assert!(adc.clip_fraction(&si) > 0.99);
+    }
+
+    #[test]
+    fn dynamic_range() {
+        let adc = Adc { bits: 12, full_scale: 1.0 };
+        assert!((adc.dynamic_range_db() - 72.24).abs() < 0.01);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cyclic redundancy checks.
+//!
+//! * [`crc32`] — the IEEE 802.3/802.11 FCS polynomial, appended to every WiFi
+//!   frame so the client receiver can report packet success/failure in the
+//!   coexistence experiments (Figs. 12–13).
+//! * [`crc8`] — a short CRC for the tag's uplink packet (the paper's tag
+//!   payload needs an integrity check so the reader can report goodput).
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320, init 0xFFFFFFFF, final
+/// XOR 0xFFFFFFFF) — the 802.11 FCS.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb == 1 {
+                crc ^= 0xEDB8_8320;
+            }
+        }
+    }
+    !crc
+}
+
+/// Verify a frame whose last four bytes are the little-endian CRC-32 of the
+/// preceding bytes.
+pub fn crc32_check(frame: &[u8]) -> bool {
+    if frame.len() < 4 {
+        return false;
+    }
+    let (body, fcs) = frame.split_at(frame.len() - 4);
+    let expect = u32::from_le_bytes([fcs[0], fcs[1], fcs[2], fcs[3]]);
+    crc32(body) == expect
+}
+
+/// Append the little-endian CRC-32 to a frame body.
+pub fn crc32_append(body: &[u8]) -> Vec<u8> {
+    let mut out = body.to_vec();
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+/// CRC-8/ATM (polynomial x⁸+x²+x+1 = 0x07, init 0, no reflection).
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &byte in data {
+        crc ^= byte;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+/// Verify a block whose final byte is the CRC-8 of the preceding bytes.
+pub fn crc8_check(frame: &[u8]) -> bool {
+    if frame.is_empty() {
+        return false;
+    }
+    let (body, tail) = frame.split_at(frame.len() - 1);
+    crc8(body) == tail[0]
+}
+
+/// Append the CRC-8 to a block.
+pub fn crc8_append(body: &[u8]) -> Vec<u8> {
+    let mut out = body.to_vec();
+    out.push(crc8(body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_vector() {
+        // The canonical "123456789" check value for CRC-32/IEEE is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_roundtrip_and_tamper() {
+        let body = b"backfi tag payload".to_vec();
+        let framed = crc32_append(&body);
+        assert!(crc32_check(&framed));
+        let mut bad = framed.clone();
+        bad[3] ^= 0x01;
+        assert!(!crc32_check(&bad));
+        assert!(!crc32_check(&framed[..3]));
+    }
+
+    #[test]
+    fn crc8_check_vector() {
+        // CRC-8/ATM check value for "123456789" is 0xF4.
+        assert_eq!(crc8(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn crc8_roundtrip_and_tamper() {
+        let body = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        let framed = crc8_append(&body);
+        assert!(crc8_check(&framed));
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert!(!crc8_check(&bad), "tamper at byte {i} undetected");
+        }
+        assert!(!crc8_check(&[]));
+    }
+
+    #[test]
+    fn crc8_detects_single_bit_errors_exhaustively() {
+        let body = vec![0x12, 0x34, 0x56];
+        let framed = crc8_append(&body);
+        for byte in 0..framed.len() {
+            for bit in 0..8 {
+                let mut bad = framed.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(!crc8_check(&bad), "missed flip {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The 802.11a/g block interleaver.
+//!
+//! Coded bits in one OFDM symbol are permuted twice (IEEE 802.11-2012
+//! §18.3.5.7): the first permutation spreads adjacent coded bits across
+//! non-adjacent subcarriers; the second spreads them across constellation bit
+//! positions so a faded subcarrier does not wipe out consecutive bits.
+
+/// Interleaver for one OFDM symbol of `ncbps` coded bits with `nbpsc` bits
+/// per subcarrier (1 = BPSK, 2 = QPSK, 4 = 16-QAM, 6 = 64-QAM).
+#[derive(Clone, Debug)]
+pub struct Interleaver {
+    ncbps: usize,
+    /// perm[k] = position after interleaving of input bit k.
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl Interleaver {
+    /// Build the permutation tables for a symbol size.
+    ///
+    /// # Panics
+    /// Panics if `ncbps` is not a multiple of 16·`max(nbpsc/2,1)` (the 802.11
+    /// sizes 48, 96, 192, 288 all are) or `nbpsc` is not one of 1, 2, 4, 6.
+    pub fn new(ncbps: usize, nbpsc: usize) -> Self {
+        assert!(
+            matches!(nbpsc, 1 | 2 | 4 | 6),
+            "nbpsc must be 1, 2, 4 or 6 (got {nbpsc})"
+        );
+        assert!(ncbps % 16 == 0, "ncbps must be a multiple of 16");
+        let s = (nbpsc / 2).max(1);
+        let mut perm = vec![0usize; ncbps];
+        for k in 0..ncbps {
+            // First permutation (write row-wise into 16 columns).
+            let i = (ncbps / 16) * (k % 16) + k / 16;
+            // Second permutation (rotate within groups of s).
+            let j = s * (i / s) + (i + ncbps - (16 * i) / ncbps) % s;
+            perm[k] = j;
+        }
+        let mut inv = vec![0usize; ncbps];
+        for (k, &j) in perm.iter().enumerate() {
+            inv[j] = k;
+        }
+        Interleaver { ncbps, perm, inv }
+    }
+
+    /// Symbol size in coded bits.
+    pub fn block_len(&self) -> usize {
+        self.ncbps
+    }
+
+    /// Interleave exactly one symbol's worth of bits.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != block_len()`.
+    pub fn interleave<T: Copy + Default>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len(), self.ncbps, "interleave: wrong block size");
+        let mut out = vec![T::default(); self.ncbps];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.perm[k]] = b;
+        }
+        out
+    }
+
+    /// Invert the permutation for one symbol.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != block_len()`.
+    pub fn deinterleave<T: Copy + Default>(&self, bits: &[T]) -> Vec<T> {
+        assert_eq!(bits.len(), self.ncbps, "deinterleave: wrong block size");
+        let mut out = vec![T::default(); self.ncbps];
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.inv[k]] = b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_sizes() {
+        for (ncbps, nbpsc) in [(48, 1), (96, 2), (192, 4), (288, 6)] {
+            let il = Interleaver::new(ncbps, nbpsc);
+            let bits: Vec<bool> = (0..ncbps).map(|i| (i * 7) % 3 == 0).collect();
+            let inter = il.interleave(&bits);
+            assert_ne!(inter, bits, "permutation must not be identity");
+            assert_eq!(il.deinterleave(&inter), bits);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        for (ncbps, nbpsc) in [(48, 1), (96, 2), (192, 4), (288, 6)] {
+            let il = Interleaver::new(ncbps, nbpsc);
+            let mut seen = vec![false; ncbps];
+            for &p in &il.perm {
+                assert!(!seen[p], "duplicate target {p}");
+                seen[p] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn bpsk_interleaver_known_values() {
+        // For BPSK (s=1) the second permutation is the identity, so
+        // perm[k] = (ncbps/16)·(k mod 16) + floor(k/16).
+        let il = Interleaver::new(48, 1);
+        assert_eq!(il.perm[0], 0);
+        assert_eq!(il.perm[1], 3);
+        assert_eq!(il.perm[16], 1);
+        assert_eq!(il.perm[47], 47);
+    }
+
+    #[test]
+    fn adjacent_bits_are_spread() {
+        // Adjacent coded bits must land at least ncbps/16 positions apart
+        // (first permutation property), for every modulation.
+        for (ncbps, nbpsc) in [(48, 1), (192, 4)] {
+            let il = Interleaver::new(ncbps, nbpsc);
+            for k in 0..ncbps - 1 {
+                let d = il.perm[k].abs_diff(il.perm[k + 1]);
+                assert!(d >= ncbps / 16 - 2, "bits {k},{} too close: {d}", k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_soft_values() {
+        let il = Interleaver::new(96, 2);
+        let soft: Vec<f64> = (0..96).map(|i| i as f64 - 48.0).collect();
+        assert_eq!(il.deinterleave(&il.interleave(&soft)), soft);
+    }
+}

@@ -1,0 +1,31 @@
+//! # backfi-coding
+//!
+//! Channel coding used by both ends of the BackFi system:
+//!
+//! * [`conv`] — the K=7 (133, 171) convolutional encoder shared by 802.11 and
+//!   the BackFi tag (§4.1 of the paper: "a rate 1/2 convolutional encoder with
+//!   constraint length of 7 requires 6 shift registers and 8 XOR gates"),
+//! * [`puncture`] — rate 1/2 → 2/3 and 3/4 puncturing (802.11 patterns; the
+//!   tag uses 1/2 and 2/3),
+//! * [`viterbi`] — hard- and soft-decision Viterbi decoding with traceback,
+//! * [`scrambler`] — the 802.11 x⁷+x⁴+1 self-synchronizing scrambler,
+//! * [`interleaver`] — the 802.11a/g two-permutation block interleaver,
+//! * [`crc`] — CRC-32 (802.11 FCS) and CRC-8 (tag packet header/payload),
+//! * [`prbs`] — maximal-length PN sequences (tag preambles, §4.1),
+//! * [`bits`] — bit/byte packing helpers shared by the PHYs.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bits;
+pub mod conv;
+pub mod crc;
+pub mod interleaver;
+pub mod prbs;
+pub mod puncture;
+pub mod scrambler;
+pub mod viterbi;
+
+pub use conv::ConvEncoder;
+pub use puncture::CodeRate;
+pub use viterbi::ViterbiDecoder;

@@ -1,0 +1,195 @@
+//! Puncturing of the rate-1/2 mother code.
+//!
+//! 802.11a/g derives rates 2/3 and 3/4 from the K=7 rate-1/2 code by deleting
+//! coded bits in a fixed pattern; the receiver re-inserts erasures before
+//! Viterbi decoding. The BackFi tag uses rates 1/2 and 2/3 (Fig. 7 of the
+//! paper), and the energy model charges the tag for the post-puncturing
+//! on-air bit count.
+
+/// Code rate of the (possibly punctured) K=7 convolutional code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CodeRate {
+    /// Unpunctured mother code, rate 1/2.
+    Half,
+    /// Punctured to rate 2/3.
+    TwoThirds,
+    /// Punctured to rate 3/4.
+    ThreeQuarters,
+}
+
+impl CodeRate {
+    /// Numerator of the rate fraction (information bits per puncturing period).
+    pub fn k(self) -> usize {
+        match self {
+            CodeRate::Half => 1,
+            CodeRate::TwoThirds => 2,
+            CodeRate::ThreeQuarters => 3,
+        }
+    }
+
+    /// Denominator of the rate fraction (transmitted bits per puncturing period).
+    pub fn n(self) -> usize {
+        match self {
+            CodeRate::Half => 2,
+            CodeRate::TwoThirds => 3,
+            CodeRate::ThreeQuarters => 4,
+        }
+    }
+
+    /// The rate as a float (`k/n`).
+    pub fn as_f64(self) -> f64 {
+        self.k() as f64 / self.n() as f64
+    }
+
+    /// Human-readable label, e.g. `"1/2"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodeRate::Half => "1/2",
+            CodeRate::TwoThirds => "2/3",
+            CodeRate::ThreeQuarters => "3/4",
+        }
+    }
+
+    /// The 802.11 puncturing pattern over one period of mother-code output
+    /// bits: `true` = transmit, `false` = delete. Period length is `2·k()`.
+    pub fn pattern(self) -> &'static [bool] {
+        match self {
+            // transmit everything
+            CodeRate::Half => &[true, true],
+            // A1 B1 A2 (B2 stolen)
+            CodeRate::TwoThirds => &[true, true, true, false],
+            // A1 B1 A2 B3 (B2, A3 stolen)
+            CodeRate::ThreeQuarters => &[true, true, true, false, false, true],
+        }
+    }
+
+    /// Number of on-air coded bits produced for `info_bits` information bits
+    /// (excluding any tail).
+    pub fn coded_len(self, info_bits: usize) -> usize {
+        // ceil(info_bits * n / k)
+        (info_bits * self.n()).div_ceil(self.k())
+    }
+}
+
+/// Delete bits from a rate-1/2 coded stream according to the rate's pattern.
+pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
+    let pat = rate.pattern();
+    coded
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| pat[i % pat.len()])
+        .map(|(_, &b)| b)
+        .collect()
+}
+
+/// Re-insert erasures into a punctured **soft** stream so the Viterbi decoder
+/// sees one metric per mother-code bit. Soft values follow the convention
+/// `>0 ⇒ bit 1 likely`, `<0 ⇒ bit 0 likely`; erasures become exactly `0.0`
+/// (no information).
+///
+/// `mother_len` is the length of the original unpunctured stream (must be
+/// consistent with the pattern and input length).
+///
+/// # Panics
+/// Panics if `punctured` has more bits than the pattern allows for
+/// `mother_len`.
+pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
+    let pat = rate.pattern();
+    let mut out = Vec::with_capacity(mother_len);
+    let mut src = punctured.iter();
+    for i in 0..mother_len {
+        if pat[i % pat.len()] {
+            out.push(*src.next().expect("punctured stream too short"));
+        } else {
+            out.push(0.0);
+        }
+    }
+    assert!(src.next().is_none(), "punctured stream too long for mother_len");
+    out
+}
+
+/// Hard-decision counterpart of [`depuncture_soft`]: erasures are returned as
+/// `None`.
+pub fn depuncture_hard(punctured: &[bool], rate: CodeRate, mother_len: usize) -> Vec<Option<bool>> {
+    let pat = rate.pattern();
+    let mut out = Vec::with_capacity(mother_len);
+    let mut src = punctured.iter();
+    for i in 0..mother_len {
+        if pat[i % pat.len()] {
+            out.push(Some(*src.next().expect("punctured stream too short")));
+        } else {
+            out.push(None);
+        }
+    }
+    assert!(src.next().is_none(), "punctured stream too long for mother_len");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_fractions() {
+        assert!((CodeRate::Half.as_f64() - 0.5).abs() < 1e-12);
+        assert!((CodeRate::TwoThirds.as_f64() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((CodeRate::ThreeQuarters.as_f64() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn puncture_lengths() {
+        // 12 mother bits = 6 info bits
+        let coded = vec![true; 12];
+        assert_eq!(puncture(&coded, CodeRate::Half).len(), 12);
+        assert_eq!(puncture(&coded, CodeRate::TwoThirds).len(), 9);
+        assert_eq!(puncture(&coded, CodeRate::ThreeQuarters).len(), 8);
+    }
+
+    #[test]
+    fn coded_len_consistency() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            // pick info lengths divisible by the period
+            let info = 12;
+            let mother = vec![false; info * 2];
+            assert_eq!(puncture(&mother, rate).len(), rate.coded_len(info));
+        }
+    }
+
+    #[test]
+    fn depuncture_restores_positions() {
+        let mother: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            let tx = puncture(&mother, rate);
+            let soft_tx: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+            let back = depuncture_soft(&soft_tx, rate, mother.len());
+            assert_eq!(back.len(), mother.len());
+            let pat = rate.pattern();
+            for (i, v) in back.iter().enumerate() {
+                if pat[i % pat.len()] {
+                    assert_eq!(*v > 0.0, mother[i], "bit {i}");
+                } else {
+                    assert_eq!(*v, 0.0, "erasure {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depuncture_hard_matches_soft() {
+        let mother: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
+        let tx = puncture(&mother, CodeRate::TwoThirds);
+        let hard = depuncture_hard(&tx, CodeRate::TwoThirds, 12);
+        assert_eq!(hard.iter().filter(|v| v.is_none()).count(), 3);
+        for (i, v) in hard.iter().enumerate() {
+            if let Some(b) = v {
+                assert_eq!(*b, mother[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn depuncture_rejects_short_stream() {
+        depuncture_soft(&[1.0], CodeRate::Half, 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! The 802.11 frame-synchronous scrambler (polynomial x⁷ + x⁴ + 1).
+//!
+//! The WiFi transmitter whitens the PSDU so the OFDM signal has no DC bias or
+//! repetitive structure; the receiver runs the identical circuit to undo it.
+//! Scrambling and descrambling are the same operation.
+
+/// The 127-bit-period scrambler from IEEE 802.11-2012 §18.3.5.5.
+#[derive(Clone, Debug)]
+pub struct Scrambler {
+    state: u8, // 7 bits
+}
+
+impl Scrambler {
+    /// Create with the given 7-bit initial state (must be nonzero; 802.11
+    /// uses a pseudo-random nonzero seed per frame, 0x7F in the Annex G
+    /// example).
+    ///
+    /// # Panics
+    /// Panics if `seed == 0` or `seed > 0x7F` (an all-zero state never leaves
+    /// zero).
+    pub fn new(seed: u8) -> Self {
+        assert!(seed != 0 && seed <= 0x7F, "scrambler seed must be 1..=0x7F");
+        Scrambler { state: seed }
+    }
+
+    /// Advance the LFSR one step and return the scrambling bit.
+    #[inline]
+    pub fn next_bit(&mut self) -> bool {
+        // feedback = x7 xor x4 (bits 6 and 3 when state bit0 is the newest)
+        let b = ((self.state >> 6) ^ (self.state >> 3)) & 1;
+        self.state = ((self.state << 1) | b) & 0x7F;
+        b == 1
+    }
+
+    /// Scramble (or descramble) a bit stream in place.
+    pub fn process_in_place(&mut self, bits: &mut [bool]) {
+        for b in bits.iter_mut() {
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Scramble (or descramble) into a new vector.
+    pub fn process(&mut self, bits: &[bool]) -> Vec<bool> {
+        bits.iter().map(|&b| b ^ self.next_bit()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn involution() {
+        let bits: Vec<bool> = (0..300).map(|i| (i * 11) % 13 < 6).collect();
+        let mut a = Scrambler::new(0x5D);
+        let scrambled = a.process(&bits);
+        assert_ne!(scrambled, bits);
+        let mut b = Scrambler::new(0x5D);
+        assert_eq!(b.process(&scrambled), bits);
+    }
+
+    #[test]
+    fn period_is_127() {
+        let mut s = Scrambler::new(0x7F);
+        let seq: Vec<bool> = (0..254).map(|_| s.next_bit()).collect();
+        assert_eq!(&seq[..127], &seq[127..]);
+        // and not shorter
+        assert_ne!(&seq[..63], &seq[63..126]);
+    }
+
+    #[test]
+    fn annex_g_first_bits() {
+        // IEEE 802.11-2012 Table L-6: with all-ones initial state the first
+        // scrambler output bits are 0000 1110 1111 0010 ...
+        let mut s = Scrambler::new(0x7F);
+        let expect = [
+            0u8, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0,
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(s.next_bit() as u8, e, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn balanced_output() {
+        // The m-sequence has 64 ones and 63 zeros per period.
+        let mut s = Scrambler::new(0x01);
+        let ones = (0..127).filter(|_| s.next_bit()).count();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed")]
+    fn rejects_zero_seed() {
+        Scrambler::new(0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Viterbi decoding of the rate-1/2 convolutional code (optionally punctured).
+//!
+//! The BackFi reader runs this after MRC demodulation ("decoded using a
+//! standard Viterbi decoder", §4.3.2), and the WiFi client receiver runs it on
+//! every packet. Supports both hard decisions and soft metrics; erasures from
+//! depuncturing carry zero metric and cost nothing either way.
+
+use crate::puncture::{depuncture_soft, CodeRate};
+
+/// Precomputed trellis for a rate-1/2 code.
+#[derive(Clone, Debug)]
+struct Trellis {
+    /// Number of states = 2^(k−1).
+    states: usize,
+    /// next_state[s][input] — state after shifting `input` into state `s`.
+    next: Vec<[u32; 2]>,
+    /// out[s][input] — the two coded bits (b0, b1) packed as `b0 | b1<<1`.
+    out: Vec<[u8; 2]>,
+}
+
+impl Trellis {
+    fn new(k: usize, g0: u32, g1: u32) -> Self {
+        let states = 1usize << (k - 1);
+        let mut next = vec![[0u32; 2]; states];
+        let mut out = vec![[0u8; 2]; states];
+        for s in 0..states {
+            for (input, slot) in [(false, 0usize), (true, 1usize)] {
+                // Trellis state = the (k−1)-bit memory (the most recent k−1
+                // inputs, newest in the MSB, bit k−2). The full k-bit register
+                // seen by the generator taps when `input` is shifted in has
+                // the new bit at the MSB (bit k−1) — mirroring
+                // `ConvEncoder::push`.
+                let mem = s as u32;
+                let register = ((input as u32) << (k - 1)) | mem;
+                let b0 = ((register & g0).count_ones() & 1) as u8;
+                let b1 = ((register & g1).count_ones() & 1) as u8;
+                out[s][slot] = b0 | (b1 << 1);
+                // New memory: drop the oldest bit (LSB), newest input enters
+                // at the MSB of the memory (bit k−2).
+                let new_mem = (mem >> 1) | ((input as u32) << (k - 2));
+                next[s][slot] = new_mem;
+            }
+        }
+        Trellis { states, next, out }
+    }
+}
+
+/// A Viterbi decoder for the K=7 (133, 171) code, shared by the WiFi receiver
+/// and the BackFi reader.
+#[derive(Clone, Debug)]
+pub struct ViterbiDecoder {
+    trellis: Trellis,
+    k: usize,
+}
+
+impl Default for ViterbiDecoder {
+    fn default() -> Self {
+        Self::ieee80211()
+    }
+}
+
+impl ViterbiDecoder {
+    /// Decoder for the standard K=7 (133, 171) code.
+    pub fn ieee80211() -> Self {
+        ViterbiDecoder {
+            trellis: Trellis::new(crate::conv::CONSTRAINT_LENGTH, crate::conv::G0, crate::conv::G1),
+            k: crate::conv::CONSTRAINT_LENGTH,
+        }
+    }
+
+    /// Decoder for a custom rate-1/2 code matching
+    /// [`ConvEncoder::new`](crate::conv::ConvEncoder::new).
+    pub fn new(k: usize, g0: u32, g1: u32) -> Self {
+        assert!(k >= 2 && k <= 16, "constraint length must be in 2..=16");
+        ViterbiDecoder {
+            trellis: Trellis::new(k, g0, g1),
+            k,
+        }
+    }
+
+    /// Soft-decision decode of a **terminated** frame.
+    ///
+    /// `soft` holds one metric per mother-code bit (`> 0` means bit 1 is
+    /// likely; magnitude is confidence; `0.0` is an erasure). Its length must
+    /// be even; the frame is assumed to start and end in state 0 (the encoder
+    /// appended `k−1` zero tail bits, which are stripped from the output).
+    ///
+    /// Returns the decoded information bits (length `soft.len()/2 − (k−1)`).
+    ///
+    /// # Panics
+    /// Panics if `soft.len()` is odd or shorter than the tail.
+    pub fn decode_soft_terminated(&self, soft: &[f64]) -> Vec<bool> {
+        assert_eq!(soft.len() % 2, 0, "soft stream must have even length");
+        let steps = soft.len() / 2;
+        let tail = self.k - 1;
+        assert!(steps >= tail, "frame shorter than the code tail");
+        let decided = self.run(soft, steps, true);
+        decided[..steps - tail].to_vec()
+    }
+
+    /// Soft-decision decode without termination assumption (traceback from
+    /// the best end state). Used for streams that were truncated.
+    pub fn decode_soft_truncated(&self, soft: &[f64]) -> Vec<bool> {
+        assert_eq!(soft.len() % 2, 0, "soft stream must have even length");
+        let steps = soft.len() / 2;
+        self.run(soft, steps, false)
+    }
+
+    /// Hard-decision decode of a terminated frame: bits are mapped to ±1
+    /// metrics internally.
+    pub fn decode_hard_terminated(&self, bits: &[bool]) -> Vec<bool> {
+        let soft: Vec<f64> = bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        self.decode_soft_terminated(&soft)
+    }
+
+    /// Convenience: depuncture a soft stream at `rate` and decode the
+    /// terminated frame. `info_bits` is the number of information bits
+    /// (excluding the `k−1` tail the encoder appended).
+    pub fn decode_punctured_soft(
+        &self,
+        punctured_soft: &[f64],
+        rate: CodeRate,
+        info_bits: usize,
+    ) -> Vec<bool> {
+        let mother_len = (info_bits + self.k - 1) * 2;
+        let soft = depuncture_soft(punctured_soft, rate, mother_len);
+        self.decode_soft_terminated(&soft)
+    }
+
+    /// Core add-compare-select + traceback.
+    fn run(&self, soft: &[f64], steps: usize, terminated: bool) -> Vec<bool> {
+        let ns = self.trellis.states;
+        const NEG: f64 = f64::NEG_INFINITY;
+        let mut metric = vec![NEG; ns];
+        metric[0] = 0.0; // encoder starts from state 0
+        let mut metric_next = vec![NEG; ns];
+        // survivor[t][s] packs (prev_state, input) — input in bit 31.
+        let mut survivor = vec![0u32; steps * ns];
+
+        for t in 0..steps {
+            let m0 = soft[2 * t];
+            let m1 = soft[2 * t + 1];
+            metric_next.iter_mut().for_each(|m| *m = NEG);
+            let surv = &mut survivor[t * ns..(t + 1) * ns];
+            for s in 0..ns {
+                let pm = metric[s];
+                if pm == NEG {
+                    continue;
+                }
+                for input in 0..2usize {
+                    let nsid = self.trellis.next[s][input] as usize;
+                    let out = self.trellis.out[s][input];
+                    // Correlation metric: +m when coded bit is 1, −m when 0.
+                    let bm = (if out & 1 == 1 { m0 } else { -m0 })
+                        + (if out & 2 == 2 { m1 } else { -m1 });
+                    let cand = pm + bm;
+                    if cand > metric_next[nsid] {
+                        metric_next[nsid] = cand;
+                        surv[nsid] = s as u32 | ((input as u32) << 31);
+                    }
+                }
+            }
+            std::mem::swap(&mut metric, &mut metric_next);
+        }
+
+        // Traceback.
+        let mut state = if terminated {
+            0usize
+        } else {
+            metric
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        let mut bits = vec![false; steps];
+        for t in (0..steps).rev() {
+            let packed = survivor[t * ns + state];
+            bits[t] = packed >> 31 == 1;
+            state = (packed & 0x7FFF_FFFF) as usize;
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ConvEncoder;
+    use crate::puncture::puncture;
+
+    fn roundtrip(bits: &[bool]) -> Vec<bool> {
+        let mut enc = ConvEncoder::ieee80211();
+        let coded = enc.encode_terminated(bits);
+        ViterbiDecoder::ieee80211().decode_hard_terminated(&coded)
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let bits: Vec<bool> = (0..64).map(|i| (i * 31) % 7 > 2).collect();
+        assert_eq!(roundtrip(&bits), bits);
+    }
+
+    #[test]
+    fn clean_roundtrip_all_lengths() {
+        for n in 1..40 {
+            let bits: Vec<bool> = (0..n).map(|i| (i * 13) % 5 < 2).collect();
+            assert_eq!(roundtrip(&bits), bits, "length {n}");
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        let bits: Vec<bool> = (0..100).map(|i| (i * 17) % 13 > 6).collect();
+        let mut enc = ConvEncoder::ieee80211();
+        let mut coded = enc.encode_terminated(&bits);
+        // Flip well-separated bits — the free distance 10 code fixes these.
+        for idx in [3usize, 40, 80, 120, 160] {
+            coded[idx] = !coded[idx];
+        }
+        let dec = ViterbiDecoder::ieee80211().decode_hard_terminated(&coded);
+        assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn soft_beats_hard_with_confidence() {
+        // A bit flipped with tiny confidence should be shrugged off.
+        let bits: Vec<bool> = (0..40).map(|i| i % 3 == 0).collect();
+        let mut enc = ConvEncoder::ieee80211();
+        let coded = enc.encode_terminated(&bits);
+        let mut soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        // Weak wrong values at several places
+        for idx in [2usize, 11, 30, 31, 50] {
+            soft[idx] = -soft[idx] * 0.05;
+        }
+        let dec = ViterbiDecoder::ieee80211().decode_soft_terminated(&soft);
+        assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn erasures_are_neutral() {
+        let bits: Vec<bool> = (0..30).map(|i| (i * 7) % 4 == 1).collect();
+        let mut enc = ConvEncoder::ieee80211();
+        let coded = enc.encode_terminated(&bits);
+        let mut soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        // Erase a quarter of the bits.
+        for i in (0..soft.len()).step_by(4) {
+            soft[i] = 0.0;
+        }
+        let dec = ViterbiDecoder::ieee80211().decode_soft_terminated(&soft);
+        assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn punctured_roundtrip_all_rates() {
+        for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
+            // info length chosen so (info + 6) mother bits align with the
+            // puncturing period
+            let info = 54;
+            let bits: Vec<bool> = (0..info).map(|i| (i * 29) % 11 < 5).collect();
+            let mut enc = ConvEncoder::ieee80211();
+            let mother = enc.encode_terminated(&bits);
+            let tx = puncture(&mother, rate);
+            let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+            let dec = ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, rate, info);
+            assert_eq!(dec, bits, "rate {}", rate.label());
+        }
+    }
+
+    #[test]
+    fn punctured_with_errors() {
+        let info = 96;
+        let bits: Vec<bool> = (0..info).map(|i| (i * 3) % 7 == 1).collect();
+        let mut enc = ConvEncoder::ieee80211();
+        let mother = enc.encode_terminated(&bits);
+        let mut tx = puncture(&mother, CodeRate::TwoThirds);
+        for idx in [10usize, 70, 130] {
+            tx[idx] = !tx[idx];
+        }
+        let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let dec = ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, CodeRate::TwoThirds, info);
+        assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn truncated_decode_recovers_most_bits() {
+        let bits: Vec<bool> = (0..80).map(|i| (i * 19) % 6 < 3).collect();
+        let mut enc = ConvEncoder::ieee80211();
+        enc.reset();
+        let coded = enc.encode(&bits); // no termination
+        let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let dec = ViterbiDecoder::ieee80211().decode_soft_truncated(&soft);
+        assert_eq!(dec.len(), bits.len());
+        // all but perhaps the last few bits must match
+        assert_eq!(&dec[..70], &bits[..70]);
+    }
+
+    #[test]
+    fn small_code_k3() {
+        // K=3 (7,5) code — a classic textbook example.
+        let bits: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let mut enc = ConvEncoder::new(3, 0b111, 0b101);
+        let coded = enc.encode_terminated(&bits);
+        let dec = ViterbiDecoder::new(3, 0b111, 0b101).decode_hard_terminated(&coded);
+        assert_eq!(dec, bits);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests over the coding stack: any bit stream must survive
+//! encode → (puncture →) channel-free decode, and every integrity mechanism
+//! must catch random mutations.
+
+use backfi_coding::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
+use backfi_coding::crc::{crc32_append, crc32_check, crc8_append, crc8_check};
+use backfi_coding::interleaver::Interleaver;
+use backfi_coding::puncture::{puncture, CodeRate};
+use backfi_coding::scrambler::Scrambler;
+use backfi_coding::{ConvEncoder, ViterbiDecoder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_viterbi_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut enc = ConvEncoder::ieee80211();
+        let coded = enc.encode_terminated(&bits);
+        let dec = ViterbiDecoder::ieee80211().decode_hard_terminated(&coded);
+        prop_assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn conv_viterbi_corrects_any_two_spread_errors(
+        bits in proptest::collection::vec(any::<bool>(), 30..120),
+        e1 in 0usize..30, gap in 20usize..40,
+    ) {
+        let mut enc = ConvEncoder::ieee80211();
+        let mut coded = enc.encode_terminated(&bits);
+        let e2 = e1 + gap;
+        prop_assume!(e2 < coded.len());
+        coded[e1] = !coded[e1];
+        coded[e2] = !coded[e2];
+        let dec = ViterbiDecoder::ieee80211().decode_hard_terminated(&coded);
+        prop_assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn punctured_roundtrip_all_rates(
+        bits in proptest::collection::vec(any::<bool>(), 12..120),
+        rate_idx in 0usize..3,
+    ) {
+        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+        // Align the mother stream with the puncturing period.
+        let mut bits = bits;
+        while (bits.len() + 6) * 2 % (2 * rate.k()) != 0 {
+            bits.push(false);
+        }
+        let mut enc = ConvEncoder::ieee80211();
+        let mother = enc.encode_terminated(&bits);
+        let tx = puncture(&mother, rate);
+        let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let dec = ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, rate, bits.len());
+        prop_assert_eq!(dec, bits);
+    }
+
+    #[test]
+    fn scrambler_is_involution(bits in proptest::collection::vec(any::<bool>(), 0..300),
+                               seed in 1u8..=0x7F) {
+        let mut a = Scrambler::new(seed);
+        let s = a.process(&bits);
+        let mut b = Scrambler::new(seed);
+        prop_assert_eq!(b.process(&s), bits);
+    }
+
+    #[test]
+    fn interleaver_is_bijective(data in proptest::collection::vec(any::<bool>(), 96..97)) {
+        let il = Interleaver::new(96, 2);
+        let forward = il.interleave(&data);
+        prop_assert_eq!(il.deinterleave(&forward), data);
+    }
+
+    #[test]
+    fn crc32_detects_any_single_byte_mutation(
+        body in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in 0usize..64, flip in 1u8..=255,
+    ) {
+        let framed = crc32_append(&body);
+        prop_assert!(crc32_check(&framed));
+        let mut bad = framed.clone();
+        let i = idx % bad.len();
+        bad[i] ^= flip;
+        prop_assert!(!crc32_check(&bad));
+    }
+
+    #[test]
+    fn crc8_detects_any_single_byte_mutation(
+        body in proptest::collection::vec(any::<u8>(), 1..32),
+        idx in 0usize..33, flip in 1u8..=255,
+    ) {
+        let framed = crc8_append(&body);
+        prop_assert!(crc8_check(&framed));
+        let mut bad = framed.clone();
+        let i = idx % bad.len();
+        bad[i] ^= flip;
+        prop_assert!(!crc8_check(&bad));
+    }
+
+    #[test]
+    fn bit_byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn soft_decisions_scale_invariant(bits in proptest::collection::vec(any::<bool>(), 10..60),
+                                      scale in 0.01f64..100.0) {
+        // Scaling all soft metrics by a positive constant must not change
+        // the decoded bits (Viterbi compares path sums).
+        let mut enc = ConvEncoder::ieee80211();
+        let coded = enc.encode_terminated(&bits);
+        let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let scaled: Vec<f64> = soft.iter().map(|v| v * scale).collect();
+        let dec = ViterbiDecoder::ieee80211();
+        prop_assert_eq!(
+            dec.decode_soft_terminated(&soft),
+            dec.decode_soft_terminated(&scaled)
+        );
+    }
+
+    #[test]
+    fn lfsr_never_reaches_zero_state(seed in 1u32..127, n in 1usize..500) {
+        let mut l = backfi_coding::prbs::Lfsr::maximal(7, seed);
+        // If the state ever hit zero the sequence would be all-zero from
+        // there on; a maximal LFSR must keep producing both values.
+        let bits = l.bits(n + 127);
+        let tail = &bits[n.saturating_sub(1)..];
+        if tail.len() >= 127 {
+            prop_assert!(tail.iter().any(|&b| b));
+            prop_assert!(tail.iter().any(|&b| !b));
+        }
+    }
+}

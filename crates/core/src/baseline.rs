@@ -1,0 +1,125 @@
+//! The prior WiFi-backscatter system [27, 25] — the headline comparator.
+//!
+//! §2: the Wi-Fi Backscatter design encodes tag data "in binary decisions of
+//! whether or not to backscatter the received packet transmission which is
+//! detected as changes in RSSI/CSI at a nearby helper WiFi device… Since
+//! information is encoded in binary decisions that span an entire packet, the
+//! information rate is only 1 bit per WiFi packet. The range is also low
+//! (less than a meter) because the helper needs the IoT sensors to be close
+//! to detect changes in RSSI/CSI" — the AP's strong transmission acts as
+//! interference to the tiny RSSI perturbation.
+//!
+//! This module models that system at its published operating point so the
+//! `headline_comparison` bench can regenerate the 10³×-throughput / 10×-range
+//! claims.
+
+/// Parameters of the prior Wi-Fi Backscatter system.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorWifiBackscatter {
+    /// WiFi packets per second usable as symbols (limited by the helper's
+    /// packet rate; [27] reports a few hundred per second).
+    pub packets_per_second: f64,
+    /// Minimum detectable RSSI perturbation at the helper, dB.
+    pub detection_threshold_db: f64,
+    /// The helper's distance to the AP, m (the ambient signal strength that
+    /// masks the tag's perturbation).
+    pub helper_ap_distance_m: f64,
+}
+
+impl Default for PriorWifiBackscatter {
+    fn default() -> Self {
+        PriorWifiBackscatter {
+            packets_per_second: 500.0,
+            detection_threshold_db: 0.45,
+            helper_ap_distance_m: 2.0,
+        }
+    }
+}
+
+impl PriorWifiBackscatter {
+    /// One-way scattering leg of the prior system's tag, dB. Its tag is a
+    /// plain antenna-switch (no PSK tree), so the leg is free-space-like with
+    /// strong near-field coupling at sub-metre range — ~12 dB stronger than
+    /// the BackFi modulator's leg.
+    fn leg_db(d_m: f64) -> f64 {
+        34.0 + 20.0 * d_m.max(0.05).log10()
+    }
+
+    /// RSSI perturbation (dB) the tag induces at a helper `d_tag_helper`
+    /// metres away: the tag's scattered power against the direct AP signal.
+    pub fn rssi_delta_db(&self, budget: &backfi_chan::budget::LinkBudget, d_tag_helper: f64) -> f64 {
+        let direct_dbm = budget.wifi_rx_power_dbm(self.helper_ap_distance_m);
+        // The tag sits near the helper; its scattering path is AP→tag→helper.
+        let d_ap_tag = (self.helper_ap_distance_m - d_tag_helper).abs().max(0.1);
+        let scattered_dbm =
+            budget.tx_power_dbm - Self::leg_db(d_ap_tag) - Self::leg_db(d_tag_helper);
+        let direct = backfi_chan::budget::dbm_to_lin(direct_dbm);
+        let scattered = backfi_chan::budget::dbm_to_lin(scattered_dbm);
+        10.0 * ((direct + scattered) / direct).log10()
+    }
+
+    /// Whether the helper can decode the tag at this distance.
+    pub fn decodable(&self, budget: &backfi_chan::budget::LinkBudget, d_tag_helper: f64) -> bool {
+        self.rssi_delta_db(budget, d_tag_helper) >= self.detection_threshold_db
+    }
+
+    /// Uplink throughput in bit/s: one bit per packet when decodable
+    /// ([27] reports ≤1 kbit/s), zero beyond range.
+    pub fn throughput_bps(&self, budget: &backfi_chan::budget::LinkBudget, d_tag_helper: f64) -> f64 {
+        if self.decodable(budget, d_tag_helper) {
+            self.packets_per_second
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum range (m) at which the tag remains decodable.
+    pub fn max_range_m(&self, budget: &backfi_chan::budget::LinkBudget) -> f64 {
+        let mut d = 0.1;
+        while d < 10.0 && self.decodable(budget, d) {
+            d += 0.05;
+        }
+        d - 0.05
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_chan::budget::LinkBudget;
+
+    #[test]
+    fn throughput_is_sub_kbps() {
+        let sys = PriorWifiBackscatter::default();
+        let b = LinkBudget::default();
+        let t = sys.throughput_bps(&b, 0.3);
+        assert!(t > 0.0 && t <= 1000.0, "prior system throughput {t}");
+    }
+
+    #[test]
+    fn range_is_under_two_meters() {
+        // §2: "the range is also low (less than a meter)". Our budget model
+        // should put it around a metre.
+        let sys = PriorWifiBackscatter::default();
+        let b = LinkBudget::default();
+        let r = sys.max_range_m(&b);
+        assert!(r > 0.2 && r < 2.0, "prior system range {r} m");
+    }
+
+    #[test]
+    fn rssi_delta_shrinks_with_distance() {
+        let sys = PriorWifiBackscatter::default();
+        let b = LinkBudget::default();
+        let near = sys.rssi_delta_db(&b, 0.2);
+        let far = sys.rssi_delta_db(&b, 1.5);
+        assert!(near > far);
+        assert!(far >= 0.0);
+    }
+
+    #[test]
+    fn beyond_range_zero_throughput() {
+        let sys = PriorWifiBackscatter::default();
+        let b = LinkBudget::default();
+        assert_eq!(sys.throughput_bps(&b, 5.0), 0.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! One data-generating function per figure/table of the paper's evaluation.
+//!
+//! Each function returns plain data; the `backfi-bench` binaries print it in
+//! the paper's format and EXPERIMENTS.md records paper-vs-measured values.
+//! A [`FigureBudget`] controls how many trials each point gets so the same
+//! code serves quick CI checks and full reproduction runs.
+
+use crate::baseline::PriorWifiBackscatter;
+use crate::link::LinkConfig;
+use crate::network::{ClientPhyExperiment, ClientPhyResult, NetworkModel};
+use crate::sweep::{cycle_configs, max_throughput_bps, run_trials, TrialStats};
+use crate::traces::{ApTrace, TraceModel};
+use backfi_chan::budget::LinkBudget;
+use backfi_coding::CodeRate;
+use backfi_dsp::stats::Ecdf;
+use backfi_reader::rate_adapt;
+use backfi_tag::config::{TagConfig, TagModulation};
+use backfi_tag::energy::{fig7_table, repb, Fig7Row};
+use backfi_wifi::Mcs;
+
+/// How much work each figure point gets.
+#[derive(Clone, Copy, Debug)]
+pub struct FigureBudget {
+    /// Trials per (distance, configuration) point.
+    pub trials: usize,
+    /// WiFi payload bytes per excitation (sets packet length, 1–4 ms in the
+    /// paper).
+    pub wifi_payload_bytes: usize,
+    /// Packets per point in the client-PHY experiment.
+    pub client_packets: usize,
+    /// Random configurations in the network experiments.
+    pub network_configs: usize,
+}
+
+impl FigureBudget {
+    /// Fast settings for tests and smoke runs.
+    pub fn quick() -> Self {
+        FigureBudget {
+            trials: 2,
+            wifi_payload_bytes: 1200,
+            client_packets: 3,
+            network_configs: 5,
+        }
+    }
+
+    /// Full reproduction settings (matches the paper's 20 trials/point).
+    pub fn paper() -> Self {
+        FigureBudget {
+            trials: 10,
+            wifi_payload_bytes: 3000,
+            client_packets: 10,
+            network_configs: 30,
+        }
+    }
+}
+
+fn base_link(distance: f64, budget: &FigureBudget) -> LinkConfig {
+    let mut cfg = LinkConfig::at_distance(distance);
+    cfg.excitation.wifi_payload_bytes = budget.wifi_payload_bytes;
+    // Full reproduction runs use the paper's long (≈4 ms) excitations so the
+    // low symbol rates get enough symbols per packet; a 3000-byte frame at
+    // the 6 Mbit/s base rate lasts 4.02 ms.
+    if budget.wifi_payload_bytes >= 2500 {
+        cfg.excitation.mcs = Mcs::Mbps6;
+    }
+    cfg
+}
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+/// Fig. 7: the REPB/throughput table. Pure energy-model computation.
+pub fn fig7() -> Vec<Fig7Row> {
+    fig7_table()
+}
+
+// ---------------------------------------------------------------- Fig. 8 --
+
+/// One point of the throughput-vs-range frontier.
+#[derive(Clone, Debug)]
+pub struct Fig8Point {
+    /// Tag preamble duration, µs.
+    pub preamble_us: f64,
+    /// Reader ↔ tag distance, m.
+    pub distance_m: f64,
+    /// Maximum decodable throughput, bit/s (0 when nothing decodes).
+    pub max_throughput_bps: f64,
+    /// The winning configuration, if any.
+    pub best: Option<TagConfig>,
+}
+
+/// Fig. 8: max throughput vs range for 32 µs and 96 µs preambles.
+pub fn fig8(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<Fig8Point> {
+    let mut out = Vec::new();
+    for &preamble_us in preambles {
+        for &distance_m in distances {
+            let base = base_link(distance_m, budget);
+            let candidates = TagConfig::all_combinations(preamble_us);
+            let stats = cycle_configs(&base, &candidates, budget.trials, 1000, true);
+            let best = stats
+                .iter()
+                .filter(|s| s.decoded())
+                .max_by(|a, b| {
+                    a.config
+                        .throughput_bps()
+                        .partial_cmp(&b.config.throughput_bps())
+                        .unwrap()
+                })
+                .map(|s| s.config);
+            out.push(Fig8Point {
+                preamble_us,
+                distance_m,
+                max_throughput_bps: max_throughput_bps(&stats),
+                best,
+            });
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- Figs. 9/10 --
+
+/// Fig. 9: the (throughput, min-REPB) frontier per range.
+pub fn fig9(distances: &[f64], budget: &FigureBudget) -> Vec<(f64, Vec<(f64, f64)>)> {
+    distances
+        .iter()
+        .map(|&d| {
+            let base = base_link(d, budget);
+            let candidates = TagConfig::all_combinations(32.0);
+            let stats = cycle_configs(&base, &candidates, budget.trials, 2000, false);
+            let outcomes: Vec<_> = stats.iter().map(TrialStats::outcome).collect();
+            (d, rate_adapt::energy_frontier(&outcomes))
+        })
+        .collect()
+}
+
+/// Fig. 10: min REPB achieving a fixed throughput, per range. `None` entries
+/// mean the target is unreachable at that range.
+pub fn fig10(
+    distances: &[f64],
+    targets_bps: &[f64],
+    budget: &FigureBudget,
+) -> Vec<(f64, Vec<Option<(TagConfig, f64)>>)> {
+    distances
+        .iter()
+        .map(|&d| {
+            let base = base_link(d, budget);
+            let candidates = TagConfig::all_combinations(32.0);
+            let stats = cycle_configs(&base, &candidates, budget.trials, 3000, false);
+            let outcomes: Vec<_> = stats.iter().map(TrialStats::outcome).collect();
+            let per_target = targets_bps
+                .iter()
+                .map(|&t| {
+                    rate_adapt::min_repb_at_throughput(&outcomes, t).map(|cfg| (cfg, repb(&cfg)))
+                })
+                .collect();
+            (d, per_target)
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Fig. 11 --
+
+/// One Fig. 11a scatter point: expected (ground-truth-channel) vs measured
+/// post-cancellation SNR.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig11aPoint {
+    /// Expected per-symbol SNR from the true channels ("VNA"), dB.
+    pub expected_db: f64,
+    /// Measured decision-directed symbol SNR, dB.
+    pub measured_db: f64,
+}
+
+/// Fig. 11a: SNR scatter over `locations × runs`, plus the median
+/// degradation (paper: ≈2.3 dB).
+pub fn fig11a(locations: usize, runs: usize, budget: &FigureBudget) -> (Vec<Fig11aPoint>, f64) {
+    let mut pts = Vec::new();
+    let mut degradations = Vec::new();
+    for loc in 0..locations {
+        // Random distances 0.5–3 m across "locations in the testbed".
+        let d = 0.5 + 2.5 * (loc as f64 * 0.37).fract();
+        let mut cfg = base_link(d, budget);
+        cfg.tag.symbol_rate_hz = 1e6;
+        let sim = crate::link::LinkSimulator::new(cfg.clone());
+        for run in 0..runs {
+            let rep = sim.run((loc * 1000 + run) as u64);
+            if !rep.measured_snr_db.is_finite() {
+                continue;
+            }
+            // Expected symbol SNR = per-sample SNR + MRC gain over the
+            // effective samples per symbol.
+            let guard = cfg.reader.fb_taps as f64;
+            let n_eff = (cfg.tag.samples_per_symbol() as f64 - guard).max(1.0);
+            let expected_db = rep.expected_snr_db + 10.0 * n_eff.log10();
+            pts.push(Fig11aPoint { expected_db, measured_db: rep.measured_snr_db });
+            degradations.push(expected_db - rep.measured_snr_db);
+        }
+    }
+    (pts, backfi_dsp::stats::median(&degradations))
+}
+
+/// One Fig. 11b waterfall point.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig11bPoint {
+    /// Modulation evaluated (rate 1/2 coding throughout).
+    pub modulation: TagModulation,
+    /// Tag symbol rate, Hz.
+    pub symbol_rate_hz: f64,
+    /// Raw (pre-FEC) BER.
+    pub ber: f64,
+}
+
+/// Fig. 11b: BER vs tag symbol rate for BPSK and QPSK at rate 1/2, fixed
+/// placement — the MRC time-diversity waterfall.
+pub fn fig11b(distance_m: f64, symbol_rates: &[f64], budget: &FigureBudget) -> Vec<Fig11bPoint> {
+    let mut out = Vec::new();
+    for &m in &[TagModulation::Bpsk, TagModulation::Qpsk] {
+        for &f in symbol_rates {
+            let mut cfg = base_link(distance_m, budget);
+            cfg.tag = TagConfig {
+                modulation: m,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: f,
+                preamble_us: 32.0,
+            };
+            let stats = run_trials(&cfg, budget.trials, 4000);
+            out.push(Fig11bPoint { modulation: m, symbol_rate_hz: f, ber: stats.mean_pre_fec_ber });
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------- Fig. 12 --
+
+/// Fig. 12a: the CDF of BackFi throughput under loaded-AP traces. The active
+/// goodput is measured sample-level at `distance_m`, then each of
+/// `n_traces` synthetic APs is replayed.
+pub fn fig12a(distance_m: f64, n_traces: usize, budget: &FigureBudget) -> (Ecdf, f64) {
+    // Measure the steady-state goodput at this range with the best config.
+    let base = base_link(distance_m, budget);
+    let candidates = TagConfig::all_combinations(32.0);
+    let stats = cycle_configs(&base, &candidates, budget.trials, 5000, true);
+    let active = stats
+        .iter()
+        .filter(|s| s.decoded())
+        .map(|s| s.config.throughput_bps())
+        .fold(0.0, f64::max);
+
+    let overhead_us = 16.0 + 16.0 + 32.0; // detection + silence + preamble
+    let model = TraceModel::default();
+    let throughputs: Vec<f64> = (0..n_traces as u64)
+        .map(|seed| {
+            ApTrace::generate(&model, 5_000_000.0, seed).replay_throughput_bps(active, overhead_us)
+        })
+        .collect();
+    (Ecdf::new(throughputs), active)
+}
+
+/// One Fig. 12b point: average network throughput with/without the tag at a
+/// given tag–AP distance.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig12bPoint {
+    /// Tag ↔ AP distance, m.
+    pub tag_distance_m: f64,
+    /// Average client throughput without the tag, Mbit/s.
+    pub off_mbps: f64,
+    /// Average client throughput with the tag, Mbit/s.
+    pub on_mbps: f64,
+}
+
+/// Fig. 12b: network impact vs tag distance, over random configurations of
+/// ten clients.
+pub fn fig12b(tag_distances: &[f64], budget: &FigureBudget) -> Vec<Fig12bPoint> {
+    let model = NetworkModel::default();
+    tag_distances
+        .iter()
+        .map(|&d| {
+            let mut off = 0.0;
+            let mut on = 0.0;
+            for seed in 0..budget.network_configs as u64 {
+                let outcomes = model.run_config(10, 10.0, d, 7000 + seed);
+                let (o, n) = NetworkModel::average_throughput(&outcomes);
+                off += o;
+                on += n;
+            }
+            let k = budget.network_configs.max(1) as f64;
+            Fig12bPoint { tag_distance_m: d, off_mbps: off / k, on_mbps: on / k }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Fig. 13 --
+
+/// Fig. 13: per-bitrate client PHY success and SNR with the tag at 0.25 m.
+pub fn fig13(rates: &[Mcs], budget: &FigureBudget) -> Vec<ClientPhyResult> {
+    let exp = ClientPhyExperiment {
+        budget: LinkBudget::default(),
+        tag_distance_m: 0.25,
+        tag_cfg: crate::network::fig13_tag_config(),
+    };
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| exp.run(m, budget.client_packets, 400, 9000 + i as u64))
+        .collect()
+}
+
+// -------------------------------------------------------------- headline --
+
+/// The §6 headline comparison against prior WiFi backscatter.
+#[derive(Clone, Debug)]
+pub struct HeadlineComparison {
+    /// BackFi throughput at 1 m, bit/s.
+    pub backfi_1m_bps: f64,
+    /// BackFi throughput at 5 m, bit/s.
+    pub backfi_5m_bps: f64,
+    /// Prior system's throughput at its best, bit/s.
+    pub prior_bps: f64,
+    /// Prior system's maximum range, m.
+    pub prior_range_m: f64,
+    /// Throughput ratio at 1 m.
+    pub throughput_gain: f64,
+}
+
+/// Compute the headline comparison.
+pub fn headline(budget: &FigureBudget) -> HeadlineComparison {
+    let pts = fig8(&[1.0, 5.0], &[32.0], budget);
+    let backfi_1m = pts
+        .iter()
+        .find(|p| p.distance_m == 1.0)
+        .map(|p| p.max_throughput_bps)
+        .unwrap_or(0.0);
+    let backfi_5m = pts
+        .iter()
+        .find(|p| p.distance_m == 5.0)
+        .map(|p| p.max_throughput_bps)
+        .unwrap_or(0.0);
+    let prior = PriorWifiBackscatter::default();
+    let b = LinkBudget::default();
+    let prior_bps = prior.throughput_bps(&b, 0.3);
+    HeadlineComparison {
+        backfi_1m_bps: backfi_1m,
+        backfi_5m_bps: backfi_5m,
+        prior_bps,
+        prior_range_m: prior.max_range_m(&b),
+        throughput_gain: backfi_1m / prior_bps.max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_has_36_entries() {
+        let t = fig7();
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().all(|r| r.columns.len() == 6));
+    }
+
+    #[test]
+    fn fig12b_far_tag_harmless() {
+        let pts = fig12b(&[4.0], &FigureBudget::quick());
+        assert_eq!(pts.len(), 1);
+        let drop = (pts[0].off_mbps - pts[0].on_mbps) / pts[0].off_mbps;
+        assert!(drop < 0.05, "drop {drop}");
+    }
+
+    #[test]
+    fn fig12a_trace_cdf_is_sane() {
+        let (cdf, active) = fig12a(2.0, 10, &FigureBudget::quick());
+        assert!(active > 0.0, "active goodput {active}");
+        assert_eq!(cdf.len(), 10);
+        // Throughput under duty cycling is below the optimum.
+        assert!(cdf.quantile(0.5) < active);
+        assert!(cdf.quantile(0.5) > 0.3 * active);
+    }
+
+    #[test]
+    fn headline_orders_of_magnitude() {
+        let h = headline(&FigureBudget::quick());
+        assert!(h.backfi_1m_bps >= 1e6, "BackFi @1m {}", h.backfi_1m_bps);
+        assert!(h.prior_bps <= 1e3);
+        assert!(h.throughput_gain > 500.0, "gain {}", h.throughput_gain);
+        assert!(h.prior_range_m < 2.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Trial and parameter sweeps — the §6.1 methodology.
+//!
+//! "For each distance, we cycle the IoT sensor through all combinations of
+//! symbol switching rates and modulations, and then calculate throughput for
+//! combinations that can be decoded at the reader." Sweeps parallelize over
+//! trials with crossbeam scoped threads (on a single-core host they simply
+//! run sequentially).
+
+use crate::link::{LinkConfig, LinkSimulator};
+use backfi_reader::rate_adapt::TrialOutcome;
+use backfi_tag::config::TagConfig;
+
+/// Aggregate outcome of several trials of one configuration.
+#[derive(Clone, Debug)]
+pub struct TrialStats {
+    /// The evaluated tag configuration.
+    pub config: TagConfig,
+    /// Fraction of trials that decoded.
+    pub success_rate: f64,
+    /// Mean measured symbol SNR over trials that produced symbols, dB.
+    pub mean_snr_db: f64,
+    /// Mean post-FEC BER over all trials.
+    pub mean_ber: f64,
+    /// Mean raw (pre-FEC) symbol-decision BER over all trials.
+    pub mean_pre_fec_ber: f64,
+    /// Mean goodput over all trials, bit/s.
+    pub mean_goodput_bps: f64,
+}
+
+impl TrialStats {
+    /// A configuration "can be decoded" when a clear majority of trials
+    /// succeed (the paper repeats each point 20×; we use the same idea).
+    pub fn decoded(&self) -> bool {
+        self.success_rate >= 0.5
+    }
+
+    /// View as a rate-adaptation outcome.
+    pub fn outcome(&self) -> TrialOutcome {
+        TrialOutcome {
+            config: self.config,
+            decoded: self.decoded(),
+            symbol_snr_db: self.mean_snr_db,
+        }
+    }
+}
+
+/// Run `trials` exchanges of one configuration (seeds `seed0..seed0+trials`),
+/// in parallel across available cores.
+pub fn run_trials(cfg: &LinkConfig, trials: usize, seed0: u64) -> TrialStats {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| seed0 + i).collect();
+    let mut reports = Vec::with_capacity(trials);
+    if threads <= 1 {
+        let sim = LinkSimulator::new(cfg.clone());
+        for &s in &seeds {
+            reports.push(sim.run(s));
+        }
+    } else {
+        let chunks: Vec<&[u64]> = seeds.chunks(seeds.len().div_ceil(threads)).collect();
+        let results: Vec<Vec<crate::link::LinkReport>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let cfg = cfg.clone();
+                    scope.spawn(move |_| {
+                        let sim = LinkSimulator::new(cfg);
+                        chunk.iter().map(|&s| sim.run(s)).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("sweep threads panicked");
+        for mut r in results {
+            reports.append(&mut r);
+        }
+    }
+
+    let n = reports.len().max(1) as f64;
+    let successes = reports.iter().filter(|r| r.success).count();
+    let snrs: Vec<f64> = reports
+        .iter()
+        .filter(|r| r.measured_snr_db.is_finite())
+        .map(|r| r.measured_snr_db)
+        .collect();
+    TrialStats {
+        config: cfg.tag,
+        success_rate: successes as f64 / n,
+        mean_snr_db: backfi_dsp::stats::mean(&snrs),
+        mean_ber: reports.iter().map(|r| r.ber).sum::<f64>() / n,
+        mean_pre_fec_ber: reports.iter().map(|r| r.pre_fec_ber).sum::<f64>() / n,
+        mean_goodput_bps: reports.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
+    }
+}
+
+/// Cycle through candidate tag configurations at one distance, most
+/// aggressive first, and report per-config stats. With `early_exit`, stops
+/// evaluating slower configurations once one decodes *and* every remaining
+/// candidate has lower throughput (the Fig. 8 frontier only needs the max).
+pub fn cycle_configs(
+    base: &LinkConfig,
+    candidates: &[TagConfig],
+    trials: usize,
+    seed0: u64,
+    early_exit: bool,
+) -> Vec<TrialStats> {
+    // Sort by throughput descending.
+    let mut sorted = candidates.to_vec();
+    sorted.sort_by(|a, b| b.throughput_bps().partial_cmp(&a.throughput_bps()).unwrap());
+
+    let mut out = Vec::new();
+    let mut best_decoded: Option<f64> = None;
+    for tag in sorted {
+        if early_exit {
+            if let Some(t) = best_decoded {
+                if tag.throughput_bps() < t {
+                    break;
+                }
+            }
+        }
+        let mut cfg = base.clone();
+        cfg.tag = tag;
+        let stats = run_trials(&cfg, trials, seed0);
+        if stats.decoded() && best_decoded.is_none() {
+            best_decoded = Some(tag.throughput_bps());
+        }
+        out.push(stats);
+    }
+    out
+}
+
+/// Max decodable throughput at a distance (bit/s), or 0 when nothing decodes.
+pub fn max_throughput_bps(stats: &[TrialStats]) -> f64 {
+    stats
+        .iter()
+        .filter(|s| s.decoded())
+        .map(|s| s.config.throughput_bps())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_coding::CodeRate;
+    use backfi_tag::config::TagModulation;
+
+    fn base(distance: f64) -> LinkConfig {
+        let mut cfg = LinkConfig::at_distance(distance);
+        cfg.excitation.wifi_payload_bytes = 1200;
+        cfg
+    }
+
+    #[test]
+    fn trials_aggregate() {
+        let stats = run_trials(&base(1.0), 3, 100);
+        assert!(stats.success_rate > 0.6, "{}", stats.success_rate);
+        assert!(stats.decoded());
+        assert!(stats.mean_goodput_bps > 0.0);
+        assert!(stats.outcome().decoded);
+    }
+
+    #[test]
+    fn cycle_early_exit_stops_after_first_decodable_tier() {
+        let candidates = vec![
+            TagConfig {
+                modulation: TagModulation::Qpsk,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: 1e6,
+                preamble_us: 32.0,
+            },
+            TagConfig {
+                modulation: TagModulation::Bpsk,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: 100e3,
+                preamble_us: 32.0,
+            },
+        ];
+        let stats = cycle_configs(&base(0.5), &candidates, 2, 7, true);
+        // The QPSK config decodes at 0.5 m, so the slower BPSK one is skipped.
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].decoded());
+        assert!(max_throughput_bps(&stats) > 9e5);
+    }
+}

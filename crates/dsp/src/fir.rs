@@ -1,0 +1,285 @@
+//! FIR filtering and linear convolution.
+//!
+//! Channels in this workspace (the environmental self-interference path
+//! `h_env`, the forward/backward tag channels `h_f`, `h_b`, and the cancelling
+//! filters) are all modelled as complex FIR impulse responses, so linear
+//! convolution is the single most-used kernel in the simulator.
+
+use crate::Complex;
+
+/// Convolution output-length mode, mirroring NumPy's `mode` argument.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConvMode {
+    /// Full convolution, output length `n + m − 1`.
+    Full,
+    /// Central part, output length `max(n, m)`.
+    Same,
+    /// Only samples where the signals fully overlap, length `max(n,m) − min(n,m) + 1`.
+    Valid,
+}
+
+/// Linear convolution of `x` with `h`.
+///
+/// Direct O(n·m) implementation: channel impulse responses here are short
+/// (≲ 32 taps), for which the direct form beats FFT convolution.
+///
+/// # Panics
+/// Panics if either input is empty.
+pub fn convolve(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
+    assert!(!x.is_empty() && !h.is_empty(), "convolve: empty input");
+    let n = x.len();
+    let m = h.len();
+    let full_len = n + m - 1;
+    let mut full = vec![Complex::ZERO; full_len];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex::ZERO {
+            continue;
+        }
+        for (k, &hk) in h.iter().enumerate() {
+            full[i + k] += xi * hk;
+        }
+    }
+    match mode {
+        ConvMode::Full => full,
+        ConvMode::Same => {
+            let out_len = n.max(m);
+            let start = (full_len - out_len) / 2;
+            full[start..start + out_len].to_vec()
+        }
+        ConvMode::Valid => {
+            let out_len = n.max(m) - n.min(m) + 1;
+            let start = n.min(m) - 1;
+            full[start..start + out_len].to_vec()
+        }
+    }
+}
+
+/// Causal FIR application: `y[i] = Σ_k h[k] x[i−k]`, with `x[j]=0` for `j<0`,
+/// output the same length as `x`. This is the "signal goes through a channel"
+/// operation — the convolution tail beyond the input length is dropped.
+pub fn filter(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
+    assert!(!h.is_empty(), "filter: empty impulse response");
+    let mut y = vec![Complex::ZERO; x.len()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex::ZERO {
+            continue;
+        }
+        let kmax = h.len().min(x.len() - i);
+        for k in 0..kmax {
+            y[i + k] += xi * h[k];
+        }
+    }
+    y
+}
+
+/// A stateful streaming FIR filter.
+///
+/// Keeps a delay line between calls so a long signal can be filtered in
+/// chunks — used by the receiver front end and the digital canceller, which
+/// process the packet as it "arrives".
+#[derive(Clone, Debug)]
+pub struct FirFilter {
+    taps: Vec<Complex>,
+    /// Circular delay line holding the most recent `taps.len()−1` inputs.
+    state: Vec<Complex>,
+    pos: usize,
+}
+
+impl FirFilter {
+    /// Create a streaming filter with the given taps (`taps[0]` is the
+    /// zero-delay tap).
+    ///
+    /// # Panics
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<Complex>) -> Self {
+        assert!(!taps.is_empty(), "FirFilter: empty taps");
+        let len = taps.len();
+        FirFilter {
+            taps,
+            state: vec![Complex::ZERO; len],
+            pos: 0,
+        }
+    }
+
+    /// Number of taps.
+    pub fn order(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Borrow the taps.
+    pub fn taps(&self) -> &[Complex] {
+        &self.taps
+    }
+
+    /// Reset the delay line to zeros.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = Complex::ZERO);
+        self.pos = 0;
+    }
+
+    /// Push one sample, get one output sample.
+    #[inline]
+    pub fn push(&mut self, x: Complex) -> Complex {
+        let n = self.state.len();
+        self.state[self.pos] = x;
+        let mut acc = Complex::ZERO;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += t * self.state[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filter a whole block, preserving state across calls.
+    pub fn process(&mut self, x: &[Complex]) -> Vec<Complex> {
+        x.iter().map(|&v| self.push(v)).collect()
+    }
+}
+
+/// Design a real lowpass FIR by the windowed-sinc method.
+///
+/// `cutoff` is the normalized cutoff in cycles/sample (0 < cutoff < 0.5);
+/// `ntaps` should be odd for a symmetric (linear-phase) filter. Returns real
+/// taps as `Complex` with zero imaginary parts, normalized to unit DC gain.
+///
+/// # Panics
+/// Panics if `cutoff` is outside (0, 0.5) or `ntaps == 0`.
+pub fn lowpass_taps(ntaps: usize, cutoff: f64) -> Vec<Complex> {
+    assert!(ntaps > 0, "lowpass_taps: ntaps must be positive");
+    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must lie in (0, 0.5)");
+    let mid = (ntaps as f64 - 1.0) / 2.0;
+    let mut taps: Vec<f64> = (0..ntaps)
+        .map(|i| {
+            let t = i as f64 - mid;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * t).sin() / (std::f64::consts::PI * t)
+            };
+            // Hamming window
+            let w = 0.54
+                - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (ntaps as f64 - 1.0).max(1.0)).cos();
+            sinc * w
+        })
+        .collect();
+    let sum: f64 = taps.iter().sum();
+    taps.iter_mut().for_each(|t| *t /= sum);
+    taps.into_iter().map(Complex::real).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64) -> Complex {
+        Complex::real(re)
+    }
+
+    #[test]
+    fn full_convolution_known_answer() {
+        let x = [c(1.0), c(2.0), c(3.0)];
+        let h = [c(1.0), c(1.0)];
+        let y = convolve(&x, &h, ConvMode::Full);
+        let expect = [1.0, 3.0, 5.0, 3.0];
+        assert_eq!(y.len(), 4);
+        for (a, b) in y.iter().zip(expect) {
+            assert!((a.re - b).abs() < 1e-12 && a.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn same_mode_length() {
+        let x = vec![c(1.0); 10];
+        let h = vec![c(1.0); 3];
+        assert_eq!(convolve(&x, &h, ConvMode::Same).len(), 10);
+    }
+
+    #[test]
+    fn valid_mode_length() {
+        let x = vec![c(1.0); 10];
+        let h = vec![c(1.0); 3];
+        let y = convolve(&x, &h, ConvMode::Valid);
+        assert_eq!(y.len(), 8);
+        for v in y {
+            assert!((v.re - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_impulse() {
+        let x: Vec<Complex> = (0..20).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let h = [Complex::ONE];
+        assert_eq!(filter(&h, &x), x);
+    }
+
+    #[test]
+    fn delay_impulse() {
+        let x: Vec<Complex> = (0..5).map(|i| c(i as f64 + 1.0)).collect();
+        let h = [Complex::ZERO, Complex::ONE]; // one-sample delay
+        let y = filter(&h, &x);
+        assert!((y[0].abs()) < 1e-12);
+        for i in 1..5 {
+            assert!((y[i] - x[i - 1]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn filter_matches_truncated_convolution() {
+        let x: Vec<Complex> = (0..30).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let h: Vec<Complex> = (0..4).map(|i| Complex::new(0.5f64.powi(i), 0.1 * i as f64)).collect();
+        let full = convolve(&x, &h, ConvMode::Full);
+        let y = filter(&h, &x);
+        for i in 0..x.len() {
+            assert!((y[i] - full[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_block() {
+        let x: Vec<Complex> = (0..50).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.2)).collect();
+        let h: Vec<Complex> = vec![c(0.5), c(-0.25), Complex::new(0.0, 0.125)];
+        let block = filter(&h, &x);
+        let mut f = FirFilter::new(h);
+        // process in uneven chunks
+        let mut out = Vec::new();
+        out.extend(f.process(&x[..7]));
+        out.extend(f.process(&x[7..23]));
+        out.extend(f.process(&x[23..]));
+        for (a, b) in out.iter().zip(&block) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fir_reset_clears_state() {
+        let h: Vec<Complex> = vec![c(1.0), c(1.0)];
+        let mut f = FirFilter::new(h);
+        f.push(c(5.0));
+        f.reset();
+        assert!((f.push(c(1.0)) - c(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_dc_gain_is_one() {
+        let taps = lowpass_taps(31, 0.2);
+        let dc: Complex = taps.iter().sum();
+        assert!((dc.re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequency() {
+        let taps = lowpass_taps(63, 0.1);
+        // Evaluate frequency response at f = 0.05 (passband) and f = 0.35 (stopband)
+        let resp = |f: f64| -> f64 {
+            taps.iter()
+                .enumerate()
+                .map(|(i, t)| *t * Complex::exp_j(-2.0 * std::f64::consts::PI * f * i as f64))
+                .sum::<Complex>()
+                .abs()
+        };
+        assert!(resp(0.05) > 0.9);
+        assert!(resp(0.35) < 0.01);
+    }
+}

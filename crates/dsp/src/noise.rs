@@ -1,0 +1,91 @@
+//! Deterministic complex Gaussian noise.
+//!
+//! Every stochastic element of the simulator (thermal noise, multipath tap
+//! realizations, payload bits) is driven by seeded `rand` RNGs so that every
+//! figure in EXPERIMENTS.md is exactly reproducible.
+
+use crate::Complex;
+use rand::Rng;
+
+/// Draw one circularly-symmetric complex Gaussian sample with total variance
+/// `var` (i.e. `var/2` per real component).
+#[inline]
+pub fn cgauss<R: Rng + ?Sized>(rng: &mut R, var: f64) -> Complex {
+    let s = (var / 2.0).sqrt();
+    Complex::new(s * gauss(rng), s * gauss(rng))
+}
+
+/// Standard normal via Box–Muller (we avoid `rand_distr`, which is not on the
+/// offline allowlist).
+#[inline]
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A vector of i.i.d. complex Gaussian samples with total variance `var`.
+pub fn cgauss_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, var: f64) -> Vec<Complex> {
+    (0..n).map(|_| cgauss(rng, var)).collect()
+}
+
+/// Add complex Gaussian noise of power `noise_power` to a signal in place.
+pub fn add_noise<R: Rng + ?Sized>(rng: &mut R, x: &mut [Complex], noise_power: f64) {
+    if noise_power <= 0.0 {
+        return;
+    }
+    for v in x.iter_mut() {
+        *v += cgauss(rng, noise_power);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean_power;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_power_matches_request() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = cgauss_vec(&mut rng, 200_000, 2.5);
+        let p = mean_power(&v);
+        assert!((p - 2.5).abs() < 0.05, "measured power {p}");
+    }
+
+    #[test]
+    fn gauss_mean_and_var() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..200_000).map(|_| gauss(&mut rng)).collect();
+        let m = crate::stats::mean(&xs);
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.01, "mean {m}");
+        assert!((v - 1.0).abs() < 0.02, "var {v}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(cgauss_vec(&mut a, 16, 1.0), cgauss_vec(&mut b, 16, 1.0));
+    }
+
+    #[test]
+    fn zero_power_noise_is_noop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = vec![Complex::ONE; 8];
+        add_noise(&mut rng, &mut x, 0.0);
+        assert!(x.iter().all(|v| (*v - Complex::ONE).abs() < 1e-15));
+    }
+
+    #[test]
+    fn add_noise_raises_power() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut x = vec![Complex::ZERO; 100_000];
+        add_noise(&mut rng, &mut x, 0.7);
+        let p = mean_power(&x);
+        assert!((p - 0.7).abs() < 0.03, "{p}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Integer-factor rate conversion.
+//!
+//! The tag's comparator makes one decision per microsecond (a 20× decimation
+//! of the 20 MHz baseband) and the tag symbol clock runs at 0.01–2.5 MSPS, so
+//! the workspace only needs integer up/down conversion, not arbitrary
+//! resampling.
+
+use crate::Complex;
+
+/// Repeat each sample `factor` times (zero-order hold upsampling).
+///
+/// This is exactly what the tag's phase modulator does: it holds one
+/// constellation phasor for a whole symbol period of baseband samples.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn hold_upsample(x: &[Complex], factor: usize) -> Vec<Complex> {
+    assert!(factor > 0, "hold_upsample: factor must be positive");
+    let mut out = Vec::with_capacity(x.len() * factor);
+    for &v in x {
+        out.extend(std::iter::repeat(v).take(factor));
+    }
+    out
+}
+
+/// Keep every `factor`-th sample starting at `offset`.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn decimate(x: &[Complex], factor: usize, offset: usize) -> Vec<Complex> {
+    assert!(factor > 0, "decimate: factor must be positive");
+    x.iter().skip(offset).step_by(factor).copied().collect()
+}
+
+/// Average consecutive groups of `factor` samples (boxcar-decimate); the final
+/// partial group (if any) is dropped. This is the integrate-and-dump front end
+/// of the tag's 1 µs energy comparator.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn boxcar_decimate(x: &[Complex], factor: usize) -> Vec<Complex> {
+    assert!(factor > 0, "boxcar_decimate: factor must be positive");
+    x.chunks_exact(factor)
+        .map(|c| c.iter().copied().sum::<Complex>() / factor as f64)
+        .collect()
+}
+
+/// Real-valued boxcar decimation of a power/envelope sequence.
+pub fn boxcar_decimate_real(x: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "boxcar_decimate_real: factor must be positive");
+    x.chunks_exact(factor)
+        .map(|c| c.iter().sum::<f64>() / factor as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_then_decimate_is_identity() {
+        let x: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let up = hold_upsample(&x, 7);
+        assert_eq!(up.len(), 70);
+        let down = decimate(&up, 7, 0);
+        assert_eq!(down, x);
+        let down3 = decimate(&up, 7, 3); // any intra-symbol phase works for a hold
+        assert_eq!(down3, x);
+    }
+
+    #[test]
+    fn boxcar_averages() {
+        let x = vec![
+            Complex::real(1.0),
+            Complex::real(3.0),
+            Complex::real(5.0),
+            Complex::real(7.0),
+            Complex::real(100.0), // dropped: partial group
+        ];
+        let y = boxcar_decimate(&x, 2);
+        assert_eq!(y.len(), 2);
+        assert!((y[0].re - 2.0).abs() < 1e-12);
+        assert!((y[1].re - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxcar_real() {
+        let y = boxcar_decimate_real(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(y, vec![2.0, 5.0]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests over the DSP primitives.
+
+use backfi_dsp::fft::{fft, fftshift, ifft, ifftshift};
+use backfi_dsp::fir::{convolve, filter, ConvMode};
+use backfi_dsp::stats::{db, mean_power, undb};
+use backfi_dsp::Complex;
+use proptest::prelude::*;
+
+fn complex_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im)),
+        len,
+    )
+}
+
+fn pow2_sized() -> impl Strategy<Value = Vec<Complex>> {
+    (1u32..8).prop_flat_map(|bits| complex_vec((1 << bits)..((1 << bits) + 1)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_properties(re1 in -1e6f64..1e6, im1 in -1e6f64..1e6,
+                                re2 in -1e3f64..1e3, im2 in -1e3f64..1e3) {
+        let a = Complex::new(re1, im1);
+        let b = Complex::new(re2, im2);
+        // commutativity
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
+        prop_assert!(((a * b) - (b * a)).abs() < 1e-6 * (1.0 + (a * b).abs()));
+        // conjugate distributes over multiplication
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6 * (1.0 + a.abs() * b.abs()));
+    }
+
+    #[test]
+    fn division_inverts_multiplication(re in -1e3f64..1e3, im in -1e3f64..1e3) {
+        prop_assume!(re.abs() + im.abs() > 1e-6);
+        let a = Complex::new(re, im);
+        let b = Complex::new(2.5, -1.25);
+        prop_assert!(((b * a) / a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_roundtrip(x in pow2_sized()) {
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in pow2_sized()) {
+        let n = x.len() as f64;
+        let time_e: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let freq_e: f64 = fft(&x).iter().map(|v| v.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((time_e - freq_e).abs() < 1e-6 * (1.0 + time_e));
+    }
+
+    #[test]
+    fn fftshift_roundtrip(x in complex_vec(1..64)) {
+        let back = ifftshift(&fftshift(&x));
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn convolution_commutes(a in complex_vec(1..24), b in complex_vec(1..24)) {
+        let ab = convolve(&a, &b, ConvMode::Full);
+        let ba = convolve(&b, &a, ConvMode::Full);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((*x - *y).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn filter_is_linear(x in complex_vec(8..64), h in complex_vec(1..8), k in -5.0f64..5.0) {
+        let scaled: Vec<Complex> = x.iter().map(|v| v.scale(k)).collect();
+        let y1: Vec<Complex> = filter(&h, &x).iter().map(|v| v.scale(k)).collect();
+        let y2 = filter(&h, &scaled);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((*a - *b).abs() < 1e-5 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn db_undb_roundtrip(v in 1e-12f64..1e12) {
+        let r = undb(db(v));
+        prop_assert!((r / v - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_power_scales_quadratically(x in complex_vec(1..64), k in 0.1f64..10.0) {
+        let p1 = mean_power(&x);
+        let scaled: Vec<Complex> = x.iter().map(|v| v.scale(k)).collect();
+        let p2 = mean_power(&scaled);
+        prop_assert!((p2 - k * k * p1).abs() < 1e-6 * (1.0 + p2));
+    }
+
+    #[test]
+    fn hold_upsample_decimate_roundtrip(x in complex_vec(1..32), f in 1usize..10) {
+        let up = backfi_dsp::resample::hold_upsample(&x, f);
+        prop_assert_eq!(up.len(), x.len() * f);
+        let down = backfi_dsp::resample::decimate(&up, f, 0);
+        prop_assert_eq!(down, x);
+    }
+
+    #[test]
+    fn quantile_is_monotone(mut v in proptest::collection::vec(-1e6f64..1e6, 1..50),
+                            q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = backfi_dsp::stats::quantile(&v, lo);
+        let b = backfi_dsp::stats::quantile(&v, hi);
+        prop_assert!(a <= b + 1e-9);
+    }
+}

@@ -1,0 +1,467 @@
+//! The composed BackFi reader (Fig. 5).
+//!
+//! `decode()` takes the clean transmitted baseband, the raw received samples
+//! and the protocol timeline, then runs: two-stage self-interference
+//! cancellation (digital stage trained on the silent window) → `h_fb`
+//! estimation from the PN preamble (with timing search) → per-symbol MRC →
+//! soft-decision Viterbi → frame parse.
+
+use crate::chanest::estimate_h_fb;
+use crate::decode::{decode_symbols, LinkMetrics};
+use crate::mrc::{mrc_symbol, zf_symbol, SymbolEstimate};
+use crate::timeline::Timeline;
+use backfi_dsp::{stats, Complex};
+use backfi_sic::{CancellerConfig, SelfInterferenceCanceller};
+use backfi_tag::config::TagConfig;
+use backfi_tag::framer::FrameError;
+
+/// Reader-side settings.
+#[derive(Clone, Copy, Debug)]
+pub struct ReaderConfig {
+    /// Self-interference canceller settings.
+    pub canceller: CancellerConfig,
+    /// Taps of the combined forward∗backward channel estimate.
+    pub fb_taps: usize,
+    /// LS regularization for the channel estimate.
+    pub ridge: f64,
+    /// Timing search span in ±samples around the nominal preamble start
+    /// (searched in 1 µs steps plus zero).
+    pub timing_span: usize,
+    /// Use the naive zero-forcing combiner instead of MRC (ablation).
+    pub use_zero_forcing: bool,
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        ReaderConfig {
+            canceller: CancellerConfig::default(),
+            fb_taps: 3,
+            ridge: 1e-6,
+            timing_span: 40,
+            use_zero_forcing: false,
+        }
+    }
+}
+
+/// Why the reader failed to produce symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReaderError {
+    /// The digital canceller could not be trained (silent window too short).
+    CancellationFailed,
+    /// No timing offset yielded a channel estimate.
+    ChannelEstimationFailed,
+    /// The payload window holds no complete symbol.
+    NoSymbols,
+}
+
+impl std::fmt::Display for ReaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReaderError::CancellationFailed => "self-interference cancellation failed",
+            ReaderError::ChannelEstimationFailed => "forward/backward channel estimation failed",
+            ReaderError::NoSymbols => "no complete tag symbols in the payload window",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ReaderError {}
+
+/// Everything the reader learned from one packet.
+#[derive(Clone, Debug)]
+pub struct TagDecodeResult {
+    /// Parsed tag payload (or why parsing failed — CRC errors etc.).
+    pub payload: Result<Vec<u8>, FrameError>,
+    /// Raw decoded information bits (for BER measurements).
+    pub decoded_bits: Vec<bool>,
+    /// Link quality metrics.
+    pub metrics: LinkMetrics,
+    /// Per-symbol phasors (constellation view).
+    pub symbols: Vec<SymbolEstimate>,
+    /// Total cancellation achieved, dB.
+    pub cancellation_db: f64,
+    /// Post-cancellation residual floor, dB (simulator units).
+    pub residual_db: f64,
+    /// Estimated combined channel.
+    pub h_fb: Vec<Complex>,
+    /// Timing correction applied, samples.
+    pub timing_offset: isize,
+}
+
+/// The BackFi AP's backscatter receive path.
+#[derive(Clone, Debug)]
+pub struct BackscatterReader {
+    cfg: ReaderConfig,
+}
+
+impl Default for BackscatterReader {
+    fn default() -> Self {
+        Self::new(ReaderConfig::default())
+    }
+}
+
+impl BackscatterReader {
+    /// Create a reader.
+    pub fn new(cfg: ReaderConfig) -> Self {
+        BackscatterReader { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.cfg
+    }
+
+    /// Decode one tag transmission.
+    ///
+    /// * `x_clean` — transmitted baseband with TX power applied (the
+    ///   canceller's reference tap),
+    /// * `y_rx` — received samples (same length; truncate the medium's tail),
+    /// * `h_env_view` — the analog canceller's converged view of the
+    ///   environment response,
+    /// * `timeline` — nominal protocol timeline,
+    /// * `tag_cfg` — the tag's modulation/coding/symbol-rate settings.
+    pub fn decode(
+        &self,
+        x_clean: &[Complex],
+        y_rx: &[Complex],
+        h_env_view: &[Complex],
+        timeline: &Timeline,
+        tag_cfg: &TagConfig,
+    ) -> Result<TagDecodeResult, ReaderError> {
+        let branch = self.demodulate(x_clean, y_rx, h_env_view, timeline, tag_cfg)?;
+        Ok(self.finish(branch, tag_cfg))
+    }
+
+    /// Decode one tag transmission received on several antennas
+    /// simultaneously (§7: "multiple antennas at the AP provide additional
+    /// diversity combining gain … We can then perform MRC combining for the
+    /// signals received across space").
+    ///
+    /// Each antenna gets its own `(y_rx, h_env_view)` pair; per-antenna
+    /// demodulation runs independently (own canceller, own h_f∗h_b estimate,
+    /// own timing) and the per-symbol estimates are then maximal-ratio
+    /// combined across space, weighted by each branch's reference energy
+    /// over its noise floor.
+    ///
+    /// # Panics
+    /// Panics if `antennas` is empty.
+    pub fn decode_mimo(
+        &self,
+        x_clean: &[Complex],
+        antennas: &[(&[Complex], &[Complex])],
+        timeline: &Timeline,
+        tag_cfg: &TagConfig,
+    ) -> Result<TagDecodeResult, ReaderError> {
+        assert!(!antennas.is_empty(), "need at least one antenna");
+        let mut branches = Vec::new();
+        for (y_rx, h_env_view) in antennas {
+            // A branch may individually fail (deep fade); keep the others.
+            if let Ok(b) = self.demodulate(x_clean, y_rx, h_env_view, timeline, tag_cfg) {
+                branches.push(b);
+            }
+        }
+        if branches.is_empty() {
+            return Err(ReaderError::ChannelEstimationFailed);
+        }
+
+        // Spatial MRC: combine per-symbol numerators/denominators. Each
+        // branch's SymbolEstimate is z = num/den with noise_var = N0/den, so
+        // num = z·den and the optimal weights are den/N0.
+        let nsym = branches.iter().map(|b| b.symbols.len()).min().unwrap();
+        let mut combined = Vec::with_capacity(nsym);
+        for i in 0..nsym {
+            let mut num = Complex::ZERO;
+            let mut den = 0.0;
+            let mut inv_noise_den = 0.0;
+            for b in &branches {
+                let s = &b.symbols[i];
+                let n0 = stats::undb(b.residual_db);
+                num += s.z * (s.ref_energy / n0);
+                den += s.ref_energy / n0;
+                inv_noise_den += s.ref_energy / n0;
+            }
+            combined.push(SymbolEstimate {
+                z: num / den,
+                ref_energy: den,
+                noise_var: 1.0 / inv_noise_den.max(1e-300),
+            });
+        }
+
+        // Take the best branch's bookkeeping, replace its symbols.
+        let mut best = branches
+            .into_iter()
+            .max_by(|a, b| a.snr_proxy().partial_cmp(&b.snr_proxy()).unwrap())
+            .unwrap();
+        best.symbols = combined;
+        Ok(self.finish(best, tag_cfg))
+    }
+
+    /// Per-antenna front half: cancellation → channel estimation → MRC.
+    fn demodulate(
+        &self,
+        x_clean: &[Complex],
+        y_rx: &[Complex],
+        h_env_view: &[Complex],
+        timeline: &Timeline,
+        tag_cfg: &TagConfig,
+    ) -> Result<Branch, ReaderError> {
+        assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
+
+        // --- Stage 1+2: self-interference cancellation -----------------
+        let canceller = SelfInterferenceCanceller::new(self.cfg.canceller, h_env_view);
+        let rep = canceller
+            .process(x_clean, y_rx, timeline.silent.clone())
+            .ok_or(ReaderError::CancellationFailed)?;
+        let y = rep.samples;
+        let noise_power = stats::undb(rep.residual_db);
+
+        // --- Stage 3: h_fb estimation with timing search ----------------
+        let mut search: Vec<isize> = vec![0];
+        let mut off = 20isize;
+        while off <= self.cfg.timing_span as isize {
+            search.push(off);
+            search.push(-off);
+            off += 20;
+        }
+        let est = estimate_h_fb(
+            x_clean,
+            &y,
+            timeline.preamble.start,
+            tag_cfg.preamble_us,
+            self.cfg.fb_taps,
+            &search,
+            self.cfg.ridge,
+        )
+        .ok_or(ReaderError::ChannelEstimationFailed)?;
+        let timeline = timeline.shifted(est.offset);
+
+        // --- Stage 4: MRC over every payload symbol ---------------------
+        let reference = backfi_dsp::fir::filter(&est.h_fb, x_clean);
+        let sps = tag_cfg.samples_per_symbol();
+        let nsym = timeline.payload.len() / sps;
+        if nsym == 0 {
+            return Err(ReaderError::NoSymbols);
+        }
+        let guard = self.cfg.fb_taps; // §4.3.2's boundary guard
+        let mut symbols = Vec::with_capacity(nsym);
+        for i in 0..nsym {
+            let s = timeline.payload.start + i * sps;
+            let e = (s + sps).min(y.len());
+            if e <= s + guard {
+                break;
+            }
+            let estimate = if self.cfg.use_zero_forcing {
+                zf_symbol(&y[s..e], &reference[s..e], guard).map(|z| SymbolEstimate {
+                    z,
+                    ref_energy: 1.0,
+                    noise_var: noise_power,
+                })
+            } else {
+                mrc_symbol(&y[s..e], &reference[s..e], guard, noise_power)
+            };
+            match estimate {
+                Some(v) => symbols.push(v),
+                None => break,
+            }
+        }
+        if symbols.len() <= backfi_tag::framer::PILOT_SYMBOLS {
+            return Err(ReaderError::NoSymbols);
+        }
+        Ok(Branch {
+            symbols,
+            cancellation_db: rep.cancellation_db,
+            residual_db: rep.residual_db,
+            h_fb: est.h_fb,
+            timing_offset: est.offset,
+        })
+    }
+
+    /// Shared back half: pilot phase anchor → decision-directed phase
+    /// refinement → soft decode → frame parse.
+    fn finish(&self, branch: Branch, tag_cfg: &TagConfig) -> TagDecodeResult {
+        let Branch { symbols, cancellation_db, residual_db, h_fb, timing_offset } = branch;
+        // The first payload symbol is a known index-0 pilot; derotating by
+        // its phase removes any constant phase error the channel estimate
+        // picked up (which would otherwise rotate the whole constellation by
+        // a step and flip every bit consistently).
+        let pilot: Complex = symbols[..backfi_tag::framer::PILOT_SYMBOLS]
+            .iter()
+            .map(|s| s.z)
+            .sum();
+        let derot = if pilot.abs() > 0.0 {
+            Complex::exp_j(-pilot.arg())
+        } else {
+            Complex::ONE
+        };
+        let mut symbols = symbols;
+        for s in symbols.iter_mut() {
+            s.z *= derot;
+        }
+        // Second pass: the single pilot is itself noisy, and its phase error
+        // rotates every symbol. Refine the common phase decision-directed:
+        // slice each symbol, accumulate z·conj(ideal), and derotate by the
+        // residual — averaging the phase reference over the whole frame.
+        {
+            let mut acc = Complex::ZERO;
+            for s in symbols.iter() {
+                let bits = backfi_tag::psk::phase_to_bits(tag_cfg.modulation, s.z.arg());
+                let ideal = Complex::exp_j(backfi_tag::psk::bits_to_phase(tag_cfg.modulation, &bits));
+                // Weight by reference energy so noisy symbols count less.
+                acc += s.z * ideal.conj() * s.ref_energy;
+            }
+            if acc.abs() > 0.0 {
+                let refine = Complex::exp_j(-acc.arg());
+                for s in symbols.iter_mut() {
+                    s.z *= refine;
+                }
+            }
+        }
+        let data_symbols = &symbols[backfi_tag::framer::PILOT_SYMBOLS..];
+        let (payload, decoded_bits, metrics) =
+            decode_symbols(data_symbols, tag_cfg.modulation, tag_cfg.code_rate);
+
+        TagDecodeResult {
+            payload,
+            decoded_bits,
+            metrics,
+            symbols,
+            cancellation_db,
+            residual_db,
+            h_fb,
+            timing_offset,
+        }
+    }
+}
+
+/// One antenna's demodulated view of the packet.
+struct Branch {
+    symbols: Vec<SymbolEstimate>,
+    cancellation_db: f64,
+    residual_db: f64,
+    h_fb: Vec<Complex>,
+    timing_offset: isize,
+}
+
+impl Branch {
+    /// Rough per-branch quality: total reference energy over the noise floor.
+    fn snr_proxy(&self) -> f64 {
+        let e: f64 = self.symbols.iter().map(|s| s.ref_energy).sum();
+        e / stats::undb(self.residual_db).max(1e-300)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_chan::budget::LinkBudget;
+    use backfi_chan::medium::{BackscatterMedium, MediumConfig};
+    use backfi_dsp::noise::cgauss_vec;
+    use backfi_tag::Tag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Full closed-loop: synthetic wideband excitation with an embedded
+    /// wake-up preamble, a real Tag state machine, the real medium, and the
+    /// reader. (End-to-end with real WiFi excitation lives in `backfi-core`.)
+    fn run_link(distance: f64, tag_cfg: TagConfig, seed: u64) -> (Result<TagDecodeResult, ReaderError>, Vec<u8>) {
+        use backfi_tag::detector::SAMPLES_PER_BIT;
+
+        // Excitation: idle, wake-up pulses for tag 1, then wideband "data".
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![Complex::ZERO; 200];
+        for &b in &backfi_coding::prbs::tag_preamble(1) {
+            if b {
+                x.extend(cgauss_vec(&mut rng, SAMPLES_PER_BIT, 1.0));
+            } else {
+                x.extend(std::iter::repeat(Complex::ZERO).take(SAMPLES_PER_BIT));
+            }
+        }
+        let detect_end = x.len();
+        let data_samples = backfi_dsp::us_to_samples(1500.0);
+        x.extend(cgauss_vec(&mut rng, data_samples, 1.0));
+        let excitation_end = x.len();
+
+        // Tag reacts to the forward signal.
+        let budget = LinkBudget::default();
+        let mut medium = BackscatterMedium::new(budget, MediumConfig::at_distance(distance), seed);
+        let a = budget.tx_power().sqrt();
+        let incident: Vec<Complex> = backfi_dsp::fir::filter(
+            &medium.h_f,
+            &x.iter().map(|&v| v * a).collect::<Vec<_>>(),
+        );
+        let mut tag = Tag::new(1, tag_cfg);
+        // Size the payload to fit the excitation at this configuration.
+        let airtime_us = backfi_dsp::samples_to_us(excitation_end - detect_end);
+        let max = backfi_tag::framer::TagFrame::max_payload_bytes(&tag_cfg, airtime_us);
+        let len = max.min(48).max(4);
+        let data: Vec<u8> = (0..len).map(|i| (i * 11 + 3) as u8).collect();
+        tag.load_data(&data);
+        let gamma = tag.react(&incident);
+
+        // Propagate and decode.
+        let y_full = medium.propagate(&x, &gamma);
+        let x_scaled: Vec<Complex> = x.iter().map(|&v| v * a).collect();
+        let y = &y_full[..x.len()];
+        let timeline = Timeline::nominal(detect_end, excitation_end, &tag_cfg);
+        let reader = BackscatterReader::default();
+        (
+            reader.decode(&x_scaled, y, &medium.h_env, &timeline, &tag_cfg),
+            data,
+        )
+    }
+
+    #[test]
+    fn decodes_qpsk_at_one_meter() {
+        let cfg = TagConfig::default(); // QPSK 1/2 @ 1 MSPS
+        let (res, data) = run_link(1.0, cfg, 42);
+        let res = res.expect("decode");
+        assert_eq!(res.payload.as_ref().unwrap(), &data);
+        assert!(res.cancellation_db > 50.0, "cancellation {}", res.cancellation_db);
+        assert!(res.metrics.symbol_snr_db > 5.0, "snr {}", res.metrics.symbol_snr_db);
+    }
+
+    #[test]
+    fn decodes_bpsk_at_three_meters() {
+        let cfg = TagConfig {
+            modulation: backfi_tag::TagModulation::Bpsk,
+            code_rate: backfi_coding::CodeRate::Half,
+            symbol_rate_hz: 500e3,
+            preamble_us: 32.0,
+        };
+        let (res, data) = run_link(3.0, cfg, 7);
+        let res = res.expect("decode");
+        assert_eq!(res.payload.as_ref().unwrap(), &data);
+    }
+
+    #[test]
+    fn fails_gracefully_at_extreme_range() {
+        let cfg = TagConfig {
+            modulation: backfi_tag::TagModulation::Psk16,
+            code_rate: backfi_coding::CodeRate::TwoThirds,
+            symbol_rate_hz: 2.5e6,
+            preamble_us: 32.0,
+        };
+        // 16PSK 2/3 at 2.5 MSPS at 6 m should not decode — but must not
+        // panic either: CRC failure or reader error are both acceptable.
+        let (res, data) = run_link(6.0, cfg, 9);
+        match res {
+            Ok(r) => assert_ne!(r.payload.ok(), Some(data)),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let cfg = TagConfig::default();
+        let snr_at = |d: f64| {
+            let (res, _) = run_link(d, cfg, 123);
+            res.map(|r| r.metrics.symbol_snr_db).unwrap_or(f64::NEG_INFINITY)
+        };
+        let near = snr_at(0.5);
+        let far = snr_at(4.0);
+        assert!(
+            near > far + 3.0,
+            "0.5 m snr {near} should exceed 4 m snr {far}"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The composed two-stage cancellation pipeline, including the ADC.
+//!
+//! RF chain: `y_rx → (− analog reconstruction) → AGC+ADC → (− digital
+//! reconstruction) → clean baseband`. The digital stage trains on the
+//! protocol's silent window.
+
+use crate::analog::{AnalogCanceller, AnalogConfig};
+use crate::digital::DigitalCanceller;
+use backfi_dsp::{stats, Complex};
+
+/// Full canceller configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CancellerConfig {
+    /// Analog stage settings.
+    pub analog: AnalogConfig,
+    /// Digital FIR length (must cover the environment delay spread).
+    pub digital_taps: usize,
+    /// LS regularization for digital training.
+    pub ridge: f64,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+    /// AGC headroom in dB above the RMS of the post-analog signal.
+    pub agc_headroom_db: f64,
+    /// Set `false` to bypass the analog stage (ablation).
+    pub analog_enabled: bool,
+    /// Set `false` to bypass the digital stage (ablation).
+    pub digital_enabled: bool,
+}
+
+impl Default for CancellerConfig {
+    fn default() -> Self {
+        CancellerConfig {
+            analog: AnalogConfig::default(),
+            digital_taps: 28,
+            ridge: 1e-7,
+            adc_bits: 12,
+            agc_headroom_db: 12.0,
+            analog_enabled: true,
+            digital_enabled: true,
+        }
+    }
+}
+
+/// Outcome of one cancellation run.
+#[derive(Clone, Debug)]
+pub struct CancellerReport {
+    /// Cleaned baseband samples (same length as the input).
+    pub samples: Vec<Complex>,
+    /// Input self-interference power (dB, simulator units) over the silent
+    /// window.
+    pub input_si_db: f64,
+    /// Residual power over the silent window after both stages.
+    pub residual_db: f64,
+    /// Total cancellation achieved (dB).
+    pub cancellation_db: f64,
+    /// Fraction of post-analog samples that clipped in the ADC.
+    pub adc_clip_fraction: f64,
+}
+
+/// The reader's self-interference canceller.
+#[derive(Clone, Debug)]
+pub struct SelfInterferenceCanceller {
+    cfg: CancellerConfig,
+    analog: AnalogCanceller,
+}
+
+impl SelfInterferenceCanceller {
+    /// Build with the analog stage tuned against the (converged-tuning view
+    /// of the) environment response.
+    pub fn new(cfg: CancellerConfig, h_env: &[Complex]) -> Self {
+        let analog = if cfg.analog_enabled {
+            AnalogCanceller::tuned(h_env, cfg.analog)
+        } else {
+            AnalogCanceller::disabled()
+        };
+        SelfInterferenceCanceller { cfg, analog }
+    }
+
+    /// Run cancellation over a packet.
+    ///
+    /// * `x_clean` — transmitted baseband (with TX power applied),
+    /// * `y_rx` — received samples (same length),
+    /// * `silent` — sample range within which the tag is known silent
+    ///   (used to train the digital stage and to report residuals).
+    ///
+    /// Returns `None` when digital training fails (window too short).
+    pub fn process(
+        &self,
+        x_clean: &[Complex],
+        y_rx: &[Complex],
+        silent: std::ops::Range<usize>,
+    ) -> Option<CancellerReport> {
+        assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
+        assert!(silent.end <= y_rx.len(), "silent window out of range");
+        let input_si_db = stats::mean_power_db(&y_rx[silent.clone()]);
+
+        // Stage 1: analog subtraction.
+        let after_analog = self.analog.cancel(x_clean, y_rx);
+
+        // AGC + ADC.
+        let rms = stats::rms(&after_analog);
+        let full_scale = rms * 10f64.powf(self.cfg.agc_headroom_db / 20.0);
+        let adc = backfi_chan_adc(self.cfg.adc_bits, full_scale.max(1e-30));
+        let adc_clip_fraction = adc.clip_fraction(&after_analog);
+        let digitized = adc.convert(&after_analog);
+
+        // Stage 2: digital subtraction, trained on the silent window.
+        let samples = if self.cfg.digital_enabled {
+            let dig = DigitalCanceller::train(
+                &x_clean[silent.clone()],
+                &digitized[silent.clone()],
+                self.cfg.digital_taps,
+                self.cfg.ridge,
+            )?;
+            dig.cancel(x_clean, &digitized)
+        } else {
+            digitized
+        };
+
+        let residual_db = stats::mean_power_db(&samples[trim(&silent, self.cfg.digital_taps)]);
+        Some(CancellerReport {
+            cancellation_db: input_si_db - residual_db,
+            input_si_db,
+            residual_db,
+            adc_clip_fraction,
+            samples,
+        })
+    }
+}
+
+/// Skip the filter-settling prefix of the silent window when measuring
+/// residuals.
+fn trim(silent: &std::ops::Range<usize>, taps: usize) -> std::ops::Range<usize> {
+    let start = (silent.start + taps).min(silent.end);
+    start..silent.end
+}
+
+/// Local ADC constructor (thin wrapper to avoid a circular dependency on
+/// `backfi-chan`; the model is identical).
+fn backfi_chan_adc(bits: u32, full_scale: f64) -> AdcModel {
+    AdcModel { bits, full_scale }
+}
+
+/// Minimal ADC model (mirrors `backfi_chan::frontend::Adc`).
+#[derive(Clone, Copy, Debug)]
+struct AdcModel {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl AdcModel {
+    fn step(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+    fn convert(&self, x: &[Complex]) -> Vec<Complex> {
+        let d = self.step();
+        x.iter()
+            .map(|v| {
+                Complex::new(
+                    (v.re.clamp(-self.full_scale, self.full_scale) / d).round() * d,
+                    (v.im.clamp(-self.full_scale, self.full_scale) / d).round() * d,
+                )
+            })
+            .collect()
+    }
+    fn clip_fraction(&self, x: &[Complex]) -> f64 {
+        if x.is_empty() {
+            return 0.0;
+        }
+        x.iter()
+            .filter(|v| v.re.abs() >= self.full_scale || v.im.abs() >= self.full_scale)
+            .count() as f64
+            / x.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_dsp::fir::filter;
+    use backfi_dsp::noise::{add_noise, cgauss_vec};
+    use backfi_dsp::stats::{db, mean_power};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Build a synthetic scene: strong SI channel + noise, no tag.
+    fn scene(seed: u64, n: usize, noise: f64) -> (Vec<Complex>, Vec<Complex>, Vec<Complex>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = cgauss_vec(&mut rng, n, 10.0); // ~10 dBm
+        let mut h_env = vec![Complex::ZERO; 20];
+        h_env[0] = Complex::new(0.08, -0.05); // leakage
+        for (i, t) in h_env.iter_mut().enumerate().skip(1) {
+            let a = 0.004 * (-(i as f64) / 5.0).exp();
+            *t = Complex::new(a, -a * 0.5);
+        }
+        let mut y = filter(&h_env, &x);
+        add_noise(&mut rng, &mut y, noise);
+        (x, y, h_env)
+    }
+
+    #[test]
+    fn two_stage_reaches_near_noise_floor() {
+        let noise = 1e-9; // -90 dBm
+        let (x, y, h_env) = scene(1, 4000, noise);
+        let c = SelfInterferenceCanceller::new(CancellerConfig::default(), &h_env);
+        let rep = c.process(&x, &y, 0..320).unwrap();
+        assert!(rep.adc_clip_fraction < 0.01, "clip {}", rep.adc_clip_fraction);
+        let excess = rep.residual_db - db(noise);
+        assert!(
+            excess < 3.0,
+            "residual {} dB vs floor {} dB",
+            rep.residual_db,
+            db(noise)
+        );
+        assert!(rep.cancellation_db > 55.0, "total {}", rep.cancellation_db);
+    }
+
+    #[test]
+    fn without_analog_stage_adc_saturates() {
+        let noise = 1e-9;
+        let (x, y, h_env) = scene(2, 4000, noise);
+        let cfg = CancellerConfig { analog_enabled: false, ..Default::default() };
+        let c = SelfInterferenceCanceller::new(cfg, &h_env);
+        let rep = c.process(&x, &y, 0..320).unwrap();
+        // AGC scales to the huge SI, so quantization noise swamps everything:
+        // residual sits far above the thermal floor.
+        let excess = rep.residual_db - db(noise);
+        assert!(excess > 10.0, "expected degraded floor, excess {excess} dB");
+    }
+
+    #[test]
+    fn without_digital_stage_residual_is_large() {
+        let noise = 1e-9;
+        let (x, y, h_env) = scene(3, 4000, noise);
+        let cfg = CancellerConfig { digital_enabled: false, ..Default::default() };
+        let c = SelfInterferenceCanceller::new(cfg, &h_env);
+        let rep = c.process(&x, &y, 0..320).unwrap();
+        let excess = rep.residual_db - db(noise);
+        assert!(excess > 20.0, "analog alone should leave residue: {excess} dB");
+    }
+
+    #[test]
+    fn preserves_a_backscatter_signal_outside_the_silent_window() {
+        let noise = 1e-12;
+        let (x, mut y, h_env) = scene(4, 6000, noise);
+        // Inject a BPSK-modulated tag signal after sample 1000.
+        let h_fb = vec![Complex::new(3e-5, 1e-5)];
+        let tag_in = filter(&h_fb, &x);
+        let tag: Vec<Complex> = tag_in
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if i < 1000 {
+                    Complex::ZERO
+                } else if (i / 40) % 2 == 0 {
+                    *v
+                } else {
+                    -*v
+                }
+            })
+            .collect();
+        for (a, b) in y.iter_mut().zip(&tag) {
+            *a += *b;
+        }
+        let c = SelfInterferenceCanceller::new(CancellerConfig::default(), &h_env);
+        let rep = c.process(&x, &y, 0..900).unwrap();
+        let out_power = mean_power(&rep.samples[1000..]);
+        let tag_power = mean_power(&tag[1000..]);
+        // The cleaned signal should be tag-dominated (within ~3 dB).
+        assert!(
+            db(out_power / tag_power).abs() < 3.0,
+            "out {out_power:e} tag {tag_power:e}"
+        );
+    }
+
+    #[test]
+    fn report_powers_are_consistent() {
+        let (x, y, h_env) = scene(5, 3000, 1e-9);
+        let c = SelfInterferenceCanceller::new(CancellerConfig::default(), &h_env);
+        let rep = c.process(&x, &y, 0..320).unwrap();
+        assert!((rep.cancellation_db - (rep.input_si_db - rep.residual_db)).abs() < 1e-9);
+        assert_eq!(rep.samples.len(), y.len());
+    }
+}

@@ -1,0 +1,257 @@
+//! Regularized least-squares FIR channel estimation.
+//!
+//! Given a known input `x` and an observation `y ≈ x ∗ h + w`, estimate the
+//! `taps`-long impulse response `h`. Used twice in the reader:
+//!
+//! 1. during the tag's silent period, with `x` = the clean transmitted WiFi
+//!    samples, to estimate the residual self-interference channel;
+//! 2. during the tag's preamble, with `x` = (transmitted WiFi × known PN
+//!    chips), to estimate the combined forward∗backward channel `h_f ∗ h_b`
+//!    (§4.3.1 — "this becomes a standard channel estimation problem").
+//!
+//! Solved via the ridge-regularized normal equations
+//! `(XᴴX + λI) h = Xᴴ y`, built directly from correlations so no large
+//! convolution matrix is materialized.
+
+use crate::linalg::{solve, CMat};
+use backfi_dsp::Complex;
+
+/// Estimate a `taps`-long FIR `h` from input `x` and output `y` (same
+/// indexing: `y[n] = Σ_k h[k]·x[n−k]`). Only output samples `n ≥ taps−1`
+/// (full history available) contribute.
+///
+/// `ridge` is the regularization λ relative to the average input power
+/// (1e−6…1e−3 typical; guards against ill-conditioning when `x` has little
+/// energy in some delay bins).
+///
+/// Returns `None` when the system is singular even after regularization or
+/// there are fewer observations than taps.
+pub fn estimate_fir(x: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Option<Vec<Complex>> {
+    assert_eq!(x.len(), y.len(), "estimate_fir: length mismatch");
+    assert!(taps >= 1, "estimate_fir: need at least one tap");
+    let n = x.len();
+    if n < taps * 2 {
+        return None;
+    }
+
+    // Normal equations: A[j][k] = Σ_n conj(x[n−j])·x[n−k],
+    //                   b[j]    = Σ_n conj(x[n−j])·y[n],  n from taps−1.
+    let mut a = CMat::zeros(taps, taps);
+    let mut b = vec![Complex::ZERO; taps];
+    let mut mean_power = 0.0;
+    for n_i in taps - 1..n {
+        mean_power += x[n_i].norm_sqr();
+    }
+    mean_power /= (n - taps + 1) as f64;
+
+    for j in 0..taps {
+        for k in j..taps {
+            let mut acc = Complex::ZERO;
+            for n_i in taps - 1..n {
+                acc += x[n_i - j].conj() * x[n_i - k];
+            }
+            a[(j, k)] = acc;
+            if k != j {
+                a[(k, j)] = acc.conj();
+            }
+        }
+        let mut acc = Complex::ZERO;
+        for n_i in taps - 1..n {
+            acc += x[n_i - j].conj() * y[n_i];
+        }
+        b[j] = acc;
+    }
+    a.add_diag(ridge * mean_power * (n - taps + 1) as f64);
+    solve(&a, &b)
+}
+
+/// Masked variant of [`estimate_fir`]: only output indices `n` with
+/// `mask[n] == true` contribute observations.
+///
+/// The reader uses this for the forward∗backward channel (§4.3.1): the model
+/// `y = (x·c) ∗ h_fb` is exact only when the whole length-`taps` history of a
+/// sample lies inside one PN chip, so samples spanning a chip transition are
+/// masked out.
+pub fn estimate_fir_masked(
+    x: &[Complex],
+    y: &[Complex],
+    taps: usize,
+    ridge: f64,
+    mask: &[bool],
+) -> Option<Vec<Complex>> {
+    assert_eq!(x.len(), y.len(), "estimate_fir_masked: length mismatch");
+    assert_eq!(mask.len(), y.len(), "estimate_fir_masked: mask length mismatch");
+    assert!(taps >= 1, "estimate_fir_masked: need at least one tap");
+    let n = x.len();
+    let idx: Vec<usize> = (taps - 1..n).filter(|&i| mask[i]).collect();
+    if idx.len() < taps * 2 {
+        return None;
+    }
+    let mut a = CMat::zeros(taps, taps);
+    let mut b = vec![Complex::ZERO; taps];
+    let mut mean_power = 0.0;
+    for &i in &idx {
+        mean_power += x[i].norm_sqr();
+    }
+    mean_power /= idx.len() as f64;
+    for j in 0..taps {
+        for k in j..taps {
+            let mut acc = Complex::ZERO;
+            for &i in &idx {
+                acc += x[i - j].conj() * x[i - k];
+            }
+            a[(j, k)] = acc;
+            if k != j {
+                a[(k, j)] = acc.conj();
+            }
+        }
+        let mut acc = Complex::ZERO;
+        for &i in &idx {
+            acc += x[i - j].conj() * y[i];
+        }
+        b[j] = acc;
+    }
+    a.add_diag(ridge * mean_power * idx.len() as f64);
+    solve(&a, &b)
+}
+
+/// Residual power after subtracting `x ∗ h` from `y` over the region where
+/// the convolution is fully formed.
+pub fn residual_power(x: &[Complex], y: &[Complex], h: &[Complex]) -> f64 {
+    let model = backfi_dsp::fir::filter(h, x);
+    let start = h.len().saturating_sub(1);
+    let mut acc = 0.0;
+    let mut cnt = 0usize;
+    for i in start..y.len().min(model.len()) {
+        acc += (y[i] - model[i]).norm_sqr();
+        cnt += 1;
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        acc / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_dsp::fir::filter;
+    use backfi_dsp::noise::{add_noise, cgauss_vec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probe(n: usize, seed: u64) -> Vec<Complex> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        cgauss_vec(&mut rng, n, 1.0)
+    }
+
+    #[test]
+    fn recovers_exact_channel_noiseless() {
+        let x = probe(500, 1);
+        let h_true = vec![
+            Complex::new(0.8, -0.1),
+            Complex::new(0.0, 0.3),
+            Complex::new(-0.05, 0.02),
+        ];
+        let y = filter(&h_true, &x);
+        let h = estimate_fir(&x, &y, 3, 1e-9).unwrap();
+        for (g, t) in h.iter().zip(&h_true) {
+            assert!((*g - *t).abs() < 1e-9, "{g:?} vs {t:?}");
+        }
+    }
+
+    #[test]
+    fn overmodelling_finds_zero_extra_taps() {
+        let x = probe(800, 2);
+        let h_true = vec![Complex::ONE, Complex::new(0.2, 0.2)];
+        let y = filter(&h_true, &x);
+        let h = estimate_fir(&x, &y, 6, 1e-9).unwrap();
+        for t in &h[2..] {
+            assert!(t.abs() < 1e-8, "spurious tap {t:?}");
+        }
+    }
+
+    #[test]
+    fn estimation_error_scales_with_noise_and_length() {
+        // Error variance per tap ≈ σ²/(N·Px): quadrupling N halves the error.
+        let h_true = vec![Complex::ONE, Complex::new(-0.3, 0.4)];
+        let mut errs = Vec::new();
+        for &n in &[400usize, 1600] {
+            let x = probe(n, 3);
+            let mut y = filter(&h_true, &x);
+            let mut rng = StdRng::seed_from_u64(99);
+            add_noise(&mut rng, &mut y, 0.01);
+            let h = estimate_fir(&x, &y, 2, 1e-9).unwrap();
+            let err: f64 = h.iter().zip(&h_true).map(|(g, t)| (*g - *t).norm_sqr()).sum();
+            errs.push(err);
+        }
+        assert!(errs[1] < errs[0], "more data must reduce error: {errs:?}");
+    }
+
+    #[test]
+    fn residual_reaches_noise_floor() {
+        let x = probe(1000, 4);
+        let h_true = vec![Complex::new(0.5, 0.5), Complex::new(0.1, -0.2), Complex::new(0.01, 0.0)];
+        let mut y = filter(&h_true, &x);
+        let noise = 1e-4;
+        let mut rng = StdRng::seed_from_u64(7);
+        add_noise(&mut rng, &mut y, noise);
+        let h = estimate_fir(&x, &y, 3, 1e-9).unwrap();
+        let res = residual_power(&x, &y, &h);
+        assert!(res < noise * 1.2, "residual {res:e} vs noise {noise:e}");
+    }
+
+    #[test]
+    fn too_few_samples_returns_none() {
+        let x = probe(10, 5);
+        let y = x.clone();
+        assert!(estimate_fir(&x, &y, 8, 1e-6).is_none());
+    }
+
+    #[test]
+    fn masked_estimation_ignores_corrupted_samples() {
+        let x = probe(1000, 8);
+        let h_true = vec![Complex::new(0.4, -0.2), Complex::new(0.1, 0.1)];
+        let mut y = filter(&h_true, &x);
+        // Corrupt every 10th sample badly; mask them out.
+        let mut mask = vec![true; y.len()];
+        for i in (0..y.len()).step_by(10) {
+            y[i] += Complex::new(5.0, -5.0);
+            mask[i] = false;
+        }
+        let h = estimate_fir_masked(&x, &y, 2, 1e-9, &mask).unwrap();
+        for (g, t) in h.iter().zip(&h_true) {
+            assert!((*g - *t).abs() < 1e-9, "{g:?} vs {t:?}");
+        }
+        // Unmasked estimation would be destroyed by the outliers.
+        let h_bad = estimate_fir(&x, &y, 2, 1e-9).unwrap();
+        let err: f64 = h_bad.iter().zip(&h_true).map(|(g, t)| (*g - *t).norm_sqr()).sum();
+        assert!(err > 1e-3, "outliers should hurt: {err:e}");
+    }
+
+    #[test]
+    fn masked_with_all_true_matches_unmasked() {
+        let x = probe(400, 9);
+        let h_true = vec![Complex::new(0.2, 0.7)];
+        let y = filter(&h_true, &x);
+        let mask = vec![true; y.len()];
+        let a = estimate_fir(&x, &y, 1, 1e-9).unwrap();
+        let b = estimate_fir_masked(&x, &y, 1, 1e-9, &mask).unwrap();
+        assert!((a[0] - b[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_with_modulated_reference() {
+        // The h_fb estimation case: x is WiFi × PN chips.
+        let wifi = probe(600, 6);
+        let chips: Vec<f64> = (0..600).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let u: Vec<Complex> = wifi.iter().zip(&chips).map(|(w, c)| w.scale(*c)).collect();
+        let h_true = vec![Complex::new(0.3, 0.1), Complex::new(-0.1, 0.05)];
+        let y = filter(&h_true, &u);
+        let h = estimate_fir(&u, &y, 2, 1e-9).unwrap();
+        for (g, t) in h.iter().zip(&h_true) {
+            assert!((*g - *t).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Small dense complex linear algebra.
+//!
+//! Just enough for regularized least squares on FIR channel estimation
+//! problems (matrix sizes ≤ ~64). Gaussian elimination with partial pivoting
+//! on the (Hermitian, ridge-regularized) normal equations is numerically
+//! adequate at these sizes and condition numbers.
+
+use backfi_dsp::Complex;
+
+/// A dense row-major complex matrix.
+#[derive(Clone, Debug)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[Complex]) -> Vec<Complex> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| *a * *b).sum()
+            })
+            .collect()
+    }
+
+    /// Add `lambda` to the diagonal (ridge regularization).
+    pub fn add_diag(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += Complex::real(lambda);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = Complex;
+    fn index(&self, (r, c): (usize, usize)) -> &Complex {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solve the square system `A·x = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` when the matrix is numerically singular.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn solve(a: &CMat, b: &[Complex]) -> Option<Vec<Complex>> {
+    assert_eq!(a.rows, a.cols, "solve needs a square matrix");
+    assert_eq!(b.len(), a.rows, "rhs dimension mismatch");
+    let n = a.rows;
+    // Augmented working copy.
+    let mut m = a.data.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Pivot: largest magnitude in this column at/below the diagonal.
+        let mut pivot = col;
+        let mut best = m[col * n + col].norm_sqr();
+        for r in col + 1..n {
+            let v = m[r * n + col].norm_sqr();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for c in 0..n {
+                m.swap(col * n + c, pivot * n + c);
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[col * n + col];
+        let inv = diag.recip();
+        for r in col + 1..n {
+            let factor = m[r * n + col] * inv;
+            if factor == Complex::ZERO {
+                continue;
+            }
+            for c in col..n {
+                let v = m[col * n + c];
+                m[r * n + c] -= factor * v;
+            }
+            let v = rhs[col];
+            rhs[r] -= factor * v;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Complex::ZERO; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for c in row + 1..n {
+            acc -= m[row * n + c] * x[c];
+        }
+        x[row] = acc * m[row * n + row].recip();
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_solve() {
+        let a = CMat::eye(4);
+        let b: Vec<Complex> = (0..4).map(|i| c(i as f64, -(i as f64))).collect();
+        assert_eq!(solve(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c(2.0, 0.0);
+        a[(0, 1)] = c(0.0, 1.0);
+        a[(1, 0)] = c(0.0, -1.0);
+        a[(1, 1)] = c(3.0, 0.0);
+        let x_true = vec![c(1.0, 1.0), c(-2.0, 0.5)];
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (g, t) in x.iter().zip(&x_true) {
+            assert!((*g - *t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_system_roundtrip() {
+        // Deterministic pseudo-random well-conditioned system.
+        let n = 16;
+        let mut a = CMat::zeros(n, n);
+        let mut s = 0xABCDEFu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) - 0.5
+        };
+        for r in 0..n {
+            for col in 0..n {
+                a[(r, col)] = c(next(), next());
+            }
+            a[(r, r)] += Complex::real(4.0); // diagonal dominance
+        }
+        let x_true: Vec<Complex> = (0..n).map(|i| c(i as f64 * 0.3, 1.0 - i as f64 * 0.1)).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (g, t) in x.iter().zip(&x_true) {
+            assert!((*g - *t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 0.0);
+        a[(0, 1)] = c(2.0, 0.0);
+        a[(1, 0)] = c(2.0, 0.0);
+        a[(1, 1)] = c(4.0, 0.0);
+        assert!(solve(&a, &[Complex::ONE, Complex::ONE]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = Complex::ZERO;
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 0)] = c(1.0, 0.0);
+        a[(1, 1)] = Complex::ZERO;
+        let x = solve(&a, &[c(3.0, 0.0), c(5.0, 0.0)]).unwrap();
+        assert!((x[0] - c(5.0, 0.0)).abs() < 1e-12);
+        assert!((x[1] - c(3.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_makes_singular_solvable() {
+        let mut a = CMat::zeros(2, 2);
+        a[(0, 0)] = c(1.0, 0.0);
+        a[(0, 1)] = c(1.0, 0.0);
+        a[(1, 0)] = c(1.0, 0.0);
+        a[(1, 1)] = c(1.0, 0.0);
+        a.add_diag(0.1);
+        assert!(solve(&a, &[Complex::ONE, Complex::ONE]).is_some());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of the linear algebra and channel estimation in the
+//! cancellation stack.
+
+use backfi_dsp::fir::filter;
+use backfi_dsp::Complex;
+use backfi_sic::estimator::{estimate_fir, residual_power};
+use backfi_sic::linalg::{solve, CMat};
+use proptest::prelude::*;
+
+fn small_complex() -> impl Strategy<Value = Complex> {
+    (-5.0f64..5.0, -5.0f64..5.0).prop_map(|(re, im)| Complex::new(re, im))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn solve_recovers_solution_of_dd_system(
+        entries in proptest::collection::vec(small_complex(), 16..17),
+        x_true in proptest::collection::vec(small_complex(), 4..5),
+    ) {
+        // Build a 4×4 diagonally dominant (hence well-conditioned) matrix.
+        let mut a = CMat::zeros(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                a[(r, c)] = entries[r * 4 + c];
+            }
+            a[(r, r)] += Complex::real(25.0);
+        }
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).expect("dd system is solvable");
+        for (g, t) in x.iter().zip(&x_true) {
+            prop_assert!((*g - *t).abs() < 1e-7, "{:?} vs {:?}", g, t);
+        }
+    }
+
+    #[test]
+    fn identity_times_anything(v in proptest::collection::vec(small_complex(), 6..7)) {
+        let a = CMat::eye(6);
+        prop_assert_eq!(a.mul_vec(&v), v.clone());
+        let x = solve(&a, &v).unwrap();
+        for (g, t) in x.iter().zip(&v) {
+            prop_assert!((*g - *t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ls_recovers_arbitrary_short_channels(
+        h_true in proptest::collection::vec(small_complex(), 1..5),
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = backfi_dsp::noise::cgauss_vec(&mut rng, 300, 1.0);
+        let y = filter(&h_true, &x);
+        let h = estimate_fir(&x, &y, h_true.len(), 1e-10).expect("solvable");
+        for (g, t) in h.iter().zip(&h_true) {
+            prop_assert!((*g - *t).abs() < 1e-6, "{:?} vs {:?}", g, t);
+        }
+        prop_assert!(residual_power(&x, &y, &h) < 1e-10);
+    }
+
+    #[test]
+    fn ls_overmodelling_is_harmless(
+        h_true in proptest::collection::vec(small_complex(), 1..3),
+        extra in 1usize..5, seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = backfi_dsp::noise::cgauss_vec(&mut rng, 400, 1.0);
+        let y = filter(&h_true, &x);
+        let h = estimate_fir(&x, &y, h_true.len() + extra, 1e-10).expect("solvable");
+        for t in &h[h_true.len()..] {
+            prop_assert!(t.abs() < 1e-6, "spurious tap {:?}", t);
+        }
+    }
+}

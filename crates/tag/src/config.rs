@@ -1,0 +1,175 @@
+//! Tag communication parameters.
+
+use backfi_coding::CodeRate;
+
+/// Phase modulations the switch tree supports (§4.1: "BPSK to 16-PSK").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TagModulation {
+    /// 1 bit per symbol, 1 SPDT switch.
+    Bpsk,
+    /// 2 bits per symbol, 3 SPDT switches.
+    Qpsk,
+    /// 4 bits per symbol, 15 SPDT switches.
+    Psk16,
+}
+
+impl TagModulation {
+    /// All supported modulations, lowest order first.
+    pub const ALL: [TagModulation; 3] = [TagModulation::Bpsk, TagModulation::Qpsk, TagModulation::Psk16];
+
+    /// Constellation size.
+    pub fn order(self) -> usize {
+        match self {
+            TagModulation::Bpsk => 2,
+            TagModulation::Qpsk => 4,
+            TagModulation::Psk16 => 16,
+        }
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            TagModulation::Bpsk => 1,
+            TagModulation::Qpsk => 2,
+            TagModulation::Psk16 => 4,
+        }
+    }
+
+    /// SPDT switches needed in the tree (Fig. 3: "for BPSK only one switch is
+    /// needed, for QPSK three switches and for 16-PSK 15 switches").
+    pub fn spdt_switches(self) -> usize {
+        self.order() - 1
+    }
+
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TagModulation::Bpsk => "BPSK",
+            TagModulation::Qpsk => "QPSK",
+            TagModulation::Psk16 => "16PSK",
+        }
+    }
+}
+
+/// Coding rates the tag's encoder supports ("in our current design we only
+/// support two coding rates: 1/2 and 2/3", §6.1).
+pub const TAG_CODE_RATES: [CodeRate; 2] = [CodeRate::Half, CodeRate::TwoThirds];
+
+/// Symbol switching rates evaluated in the paper's Fig. 7 (Hz).
+pub const TAG_SYMBOL_RATES: [f64; 6] = [10e3, 100e3, 500e3, 1e6, 2e6, 2.5e6];
+
+/// One complete tag configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TagConfig {
+    /// Phase modulation.
+    pub modulation: TagModulation,
+    /// Convolutional code rate (1/2 or 2/3).
+    pub code_rate: CodeRate,
+    /// Symbol switching rate in Hz (0.01–2.5 MSPS; §4.1).
+    pub symbol_rate_hz: f64,
+    /// Tag preamble duration in µs (32 in the baseline design; Fig. 8 also
+    /// evaluates 96).
+    pub preamble_us: f64,
+}
+
+impl Default for TagConfig {
+    fn default() -> Self {
+        TagConfig {
+            modulation: TagModulation::Qpsk,
+            code_rate: CodeRate::Half,
+            symbol_rate_hz: 1e6,
+            preamble_us: 32.0,
+        }
+    }
+}
+
+impl TagConfig {
+    /// Every (modulation × coding rate × symbol rate) combination of the
+    /// paper's Fig. 7 with the given preamble duration — the space the rate
+    /// adaptation searches.
+    pub fn all_combinations(preamble_us: f64) -> Vec<TagConfig> {
+        let mut v = Vec::new();
+        for &symbol_rate_hz in &TAG_SYMBOL_RATES {
+            for modulation in TagModulation::ALL {
+                for code_rate in TAG_CODE_RATES {
+                    v.push(TagConfig { modulation, code_rate, symbol_rate_hz, preamble_us });
+                }
+            }
+        }
+        v
+    }
+
+    /// Uplink information throughput in bit/s:
+    /// `symbol_rate × bits_per_symbol × code_rate`.
+    pub fn throughput_bps(&self) -> f64 {
+        self.symbol_rate_hz * self.modulation.bits_per_symbol() as f64 * self.code_rate.as_f64()
+    }
+
+    /// Baseband samples per tag symbol at 20 MHz.
+    ///
+    /// # Panics
+    /// Panics if the symbol rate doesn't divide the sample rate to ≥ 8
+    /// samples (the decoder needs several samples per symbol for MRC).
+    pub fn samples_per_symbol(&self) -> usize {
+        let sps = backfi_dsp::SAMPLE_RATE_HZ / self.symbol_rate_hz;
+        let n = sps.round() as usize;
+        assert!(n >= 8, "symbol rate {} too fast for 20 MHz sampling", self.symbol_rate_hz);
+        n
+    }
+
+    /// Short label like `"16PSK 2/3 @ 2.5 MSPS"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} @ {} kSPS",
+            self.modulation.label(),
+            self.code_rate.label(),
+            self.symbol_rate_hz / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_fig7_corners() {
+        // Fig. 7: BPSK 1/2 @ 10 kHz -> 5 kbps; 16PSK 2/3 @ 2.5 MHz -> 6.67 Mbps.
+        let slow = TagConfig {
+            modulation: TagModulation::Bpsk,
+            code_rate: CodeRate::Half,
+            symbol_rate_hz: 10e3,
+            preamble_us: 32.0,
+        };
+        assert!((slow.throughput_bps() - 5e3).abs() < 1.0);
+        let fast = TagConfig {
+            modulation: TagModulation::Psk16,
+            code_rate: CodeRate::TwoThirds,
+            symbol_rate_hz: 2.5e6,
+            preamble_us: 32.0,
+        };
+        assert!((fast.throughput_bps() - 6.6667e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn combination_count() {
+        // 6 symbol rates × 3 modulations × 2 code rates = 36 (Fig. 7 grid).
+        assert_eq!(TagConfig::all_combinations(32.0).len(), 36);
+    }
+
+    #[test]
+    fn samples_per_symbol() {
+        let mut c = TagConfig::default();
+        c.symbol_rate_hz = 2.5e6;
+        assert_eq!(c.samples_per_symbol(), 8);
+        c.symbol_rate_hz = 10e3;
+        assert_eq!(c.samples_per_symbol(), 2000);
+    }
+
+    #[test]
+    fn switch_counts_match_paper() {
+        assert_eq!(TagModulation::Bpsk.spdt_switches(), 1);
+        assert_eq!(TagModulation::Qpsk.spdt_switches(), 3);
+        assert_eq!(TagModulation::Psk16.spdt_switches(), 15);
+    }
+}

@@ -1,0 +1,209 @@
+//! The AP → tag downlink.
+//!
+//! The paper delegates the downlink to the prior Wi-Fi Backscatter design:
+//! "The same detection circuitry can be used to implement the downlink
+//! communication to the tag from the AP … BackFi reuses this design for the
+//! downlink and provides similar throughputs of 20 Kbps" (§5.2.1).
+//!
+//! The AP on-off-keys bursts that the tag's existing envelope detector
+//! demodulates for free. Each Manchester *chip* spans 25 comparator
+//! decisions (25 µs) so the ultra-low-power comparator can majority-vote it;
+//! one data bit = two chips = 50 µs → exactly the paper's 20 kbit/s.
+//! Manchester keeps the stream DC-free (the peak-hold threshold stays
+//! honest) and self-clocking.
+
+use crate::detector::{EnergyDetector, SAMPLES_PER_BIT};
+use backfi_coding::crc::{crc8_append, crc8_check};
+use backfi_dsp::Complex;
+
+/// Comparator decisions (µs) per Manchester chip.
+pub const COMPARATOR_BITS_PER_CHIP: usize = 25;
+/// Chips per data bit (Manchester).
+pub const CHIPS_PER_BIT: usize = 2;
+/// Downlink data rate: one bit per 50 µs = 20 kbit/s.
+pub const DOWNLINK_BPS: f64 = 1e6 / (COMPARATOR_BITS_PER_CHIP * CHIPS_PER_BIT) as f64;
+/// Start-of-frame chip pattern (three marks — impossible inside Manchester
+/// data, which never has more than two equal chips in a row).
+pub const SOF: [bool; 4] = [true, true, true, false];
+
+/// Encode a downlink frame (payload ‖ CRC-8) into Manchester chips.
+pub fn encode(payload: &[u8]) -> Vec<bool> {
+    let framed = crc8_append(payload);
+    let mut chips: Vec<bool> = SOF.to_vec();
+    for byte in framed {
+        for i in 0..8 {
+            if (byte >> i) & 1 == 1 {
+                chips.push(true);
+                chips.push(false);
+            } else {
+                chips.push(false);
+                chips.push(true);
+            }
+        }
+    }
+    chips
+}
+
+/// Expand chips to baseband samples at the given pulse amplitude
+/// (25 µs × 20 samples per chip).
+pub fn modulate(chips: &[bool], amplitude: f64) -> Vec<Complex> {
+    let per_chip = COMPARATOR_BITS_PER_CHIP * SAMPLES_PER_BIT;
+    let mut out = Vec::with_capacity(chips.len() * per_chip);
+    for (i, &c) in chips.iter().enumerate() {
+        let a = if c { amplitude } else { 0.0 };
+        out.extend((0..per_chip).map(|k| Complex::from_polar(a, 0.7 * (i * per_chip + k) as f64)));
+    }
+    out
+}
+
+/// Decode errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DownlinkError {
+    /// No start-of-frame found at any chip alignment.
+    NoSof,
+    /// A chip pair violated Manchester coding mid-frame.
+    CodingViolation,
+    /// CRC-8 mismatch.
+    BadCrc,
+    /// Frame ran past the end of the chip stream.
+    Truncated,
+}
+
+/// Demodulate a received sample stream through the tag's energy detector and
+/// decode the first downlink frame found. `expected_len` is the payload size
+/// (downlink frames are fixed-format commands).
+pub fn decode(
+    samples: &[Complex],
+    detector: &mut EnergyDetector,
+    expected_len: usize,
+) -> Result<Vec<u8>, DownlinkError> {
+    let comparator = detector.process(samples);
+    let mut last_err = DownlinkError::NoSof;
+    // The tag does not know the chip phase; try every comparator offset.
+    for phase in 0..COMPARATOR_BITS_PER_CHIP {
+        match decode_at_phase(&comparator[phase..], expected_len) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                // Prefer reporting the most "advanced" failure.
+                if last_err == DownlinkError::NoSof {
+                    last_err = e;
+                }
+            }
+        }
+    }
+    Err(last_err)
+}
+
+fn decode_at_phase(comparator: &[bool], expected_len: usize) -> Result<Vec<u8>, DownlinkError> {
+    // Majority-vote comparator groups into chips.
+    let chips: Vec<bool> = comparator
+        .chunks_exact(COMPARATOR_BITS_PER_CHIP)
+        .map(|g| g.iter().filter(|&&b| b).count() * 2 > COMPARATOR_BITS_PER_CHIP)
+        .collect();
+    let sof_at = chips
+        .windows(SOF.len())
+        .position(|w| w == SOF)
+        .ok_or(DownlinkError::NoSof)?;
+    let mut at = sof_at + SOF.len();
+    let total_bits = (expected_len + 1) * 8;
+    let mut bits = Vec::with_capacity(total_bits);
+    for _ in 0..total_bits {
+        if at + 1 >= chips.len() {
+            return Err(DownlinkError::Truncated);
+        }
+        match (chips[at], chips[at + 1]) {
+            (true, false) => bits.push(true),
+            (false, true) => bits.push(false),
+            _ => return Err(DownlinkError::CodingViolation),
+        }
+        at += 2;
+    }
+    let bytes = backfi_coding::bits::bits_to_bytes_lsb(&bits);
+    if !crc8_check(&bytes) {
+        return Err(DownlinkError::BadCrc);
+    }
+    Ok(bytes[..expected_len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        let payload = vec![0x42, 0x13, 0xF0];
+        let chips = encode(&payload);
+        let samples = modulate(&chips, 1e-2);
+        let mut det = EnergyDetector::new(-60.0);
+        let got = decode(&samples, &mut det, payload.len()).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn roundtrip_with_unaligned_leading_noise() {
+        let payload = vec![0xAA; 8];
+        let chips = encode(&payload);
+        // 37 µs of silence → chip phase offset 12 of 25.
+        let mut samples = vec![Complex::ZERO; 37 * SAMPLES_PER_BIT];
+        samples.extend(modulate(&chips, 5e-3));
+        let mut det = EnergyDetector::new(-60.0);
+        assert_eq!(decode(&samples, &mut det, 8).unwrap(), payload);
+    }
+
+    #[test]
+    fn majority_vote_tolerates_comparator_glitches() {
+        let payload = vec![0x5A, 0xC3];
+        let chips = encode(&payload);
+        let mut samples = modulate(&chips, 1e-2);
+        // Zero out 5 µs inside several mark chips (comparator glitches).
+        for chip in [0usize, 6, 12] {
+            let start = chip * COMPARATOR_BITS_PER_CHIP * SAMPLES_PER_BIT;
+            for s in &mut samples[start..start + 5 * SAMPLES_PER_BIT] {
+                *s = Complex::ZERO;
+            }
+        }
+        let mut det = EnergyDetector::new(-60.0);
+        assert_eq!(decode(&samples, &mut det, 2).unwrap(), payload);
+    }
+
+    #[test]
+    fn sof_cannot_appear_in_manchester_data() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let chips = encode(&payload);
+        for w in chips[SOF.len()..].windows(3) {
+            assert!(!(w[0] && w[1] && w[2]), "SOF-like run inside data");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let payload = vec![1, 2, 3, 4];
+        let mut chips = encode(&payload);
+        let at = SOF.len() + 10;
+        chips.swap(at, at + 1); // coherent Manchester flip → CRC must catch
+        let samples = modulate(&chips, 1e-2);
+        let mut det = EnergyDetector::new(-60.0);
+        match decode(&samples, &mut det, 4) {
+            Err(DownlinkError::BadCrc) | Err(DownlinkError::CodingViolation) => {}
+            other => panic!("corruption slipped through: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_sof_reported() {
+        let mut det = EnergyDetector::new(-60.0);
+        let silence = vec![Complex::ZERO; 20_000];
+        assert_eq!(decode(&silence, &mut det, 4), Err(DownlinkError::NoSof));
+    }
+
+    #[test]
+    fn rate_is_20_kbps() {
+        assert!((DOWNLINK_BPS - 20e3).abs() < 1.0);
+        // End to end: a 100-byte frame occupies ≈ (101·8·2+4) chips × 25 µs.
+        let payload = vec![0u8; 100];
+        let chips = encode(&payload);
+        let dur_s = chips.len() as f64 * COMPARATOR_BITS_PER_CHIP as f64 * 1e-6;
+        let bps = (payload.len() * 8) as f64 / dur_s;
+        assert!(bps > 18e3 && bps < 21e3, "downlink rate {bps}");
+    }
+}

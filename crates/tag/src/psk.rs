@@ -1,0 +1,162 @@
+//! Gray-coded n-PSK phase mapping for the tag's data symbols.
+//!
+//! The tag "reads the data that needs to be transmitted, picks out two bits
+//! at a time, maps it to the appropriate QPSK symbol and then multiplies the
+//! received excitation signal … with the corresponding phase signal" (§4.1).
+//! Gray coding makes adjacent constellation points differ in one bit, so the
+//! dominant nearest-neighbour errors cost a single bit — which the
+//! convolutional code then cleans up.
+
+use crate::config::TagModulation;
+
+/// Gray-encode an index (binary → Gray).
+pub fn gray_encode(v: usize) -> usize {
+    v ^ (v >> 1)
+}
+
+/// Gray-decode (Gray → binary).
+pub fn gray_decode(mut g: usize) -> usize {
+    let mut v = g;
+    while g > 0 {
+        g >>= 1;
+        v ^= g;
+    }
+    v
+}
+
+/// Map `bits_per_symbol` bits (LSB-first) to a phase in radians.
+///
+/// The constellation point for bit value `v` is at angle
+/// `2π·gray_encode(v)/order`, so Gray-adjacent values are physical
+/// neighbours.
+///
+/// # Panics
+/// Panics if `bits.len()` doesn't match the modulation.
+pub fn bits_to_phase(m: TagModulation, bits: &[bool]) -> f64 {
+    assert_eq!(bits.len(), m.bits_per_symbol(), "wrong bit count for {m:?}");
+    let v = bits
+        .iter()
+        .enumerate()
+        .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+    let idx = gray_encode(v);
+    2.0 * std::f64::consts::PI * idx as f64 / m.order() as f64
+}
+
+/// Nearest-phase hard decision: returns the bits (LSB-first).
+pub fn phase_to_bits(m: TagModulation, phase: f64) -> Vec<bool> {
+    let order = m.order() as f64;
+    let step = 2.0 * std::f64::consts::PI / order;
+    let mut idx = (phase / step).round() as i64 % m.order() as i64;
+    if idx < 0 {
+        idx += m.order() as i64;
+    }
+    let v = gray_decode(idx as usize);
+    (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+/// Per-bit soft metrics (max-log LLR, positive ⇒ bit 1) for a received
+/// phasor `z` whose expected magnitude is `amp` and whose noise variance is
+/// `noise_var`.
+pub fn soft_bits(m: TagModulation, z: backfi_dsp::Complex, amp: f64, noise_var: f64, out: &mut Vec<f64>) {
+    let n = m.bits_per_symbol();
+    let scale = 1.0 / noise_var.max(1e-18);
+    for bit in 0..n {
+        let mut d0 = f64::INFINITY;
+        let mut d1 = f64::INFINITY;
+        for v in 0..m.order() {
+            let idx = gray_encode(v);
+            let phase = 2.0 * std::f64::consts::PI * idx as f64 / m.order() as f64;
+            let p = backfi_dsp::Complex::from_polar(amp, phase);
+            let d = (z - p).norm_sqr();
+            if (v >> bit) & 1 == 1 {
+                d1 = d1.min(d);
+            } else {
+                d0 = d0.min(d);
+            }
+        }
+        out.push((d0 - d1) * scale);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_dsp::Complex;
+
+    #[test]
+    fn gray_roundtrip() {
+        for v in 0..64 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_differ_one_bit() {
+        for v in 0..15usize {
+            let d = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(d.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn phase_roundtrip_all_modulations() {
+        for m in TagModulation::ALL {
+            for v in 0..m.order() {
+                let bits: Vec<bool> = (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                let phase = bits_to_phase(m, &bits);
+                assert_eq!(phase_to_bits(m, phase), bits, "{m:?} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn phases_are_evenly_spaced() {
+        for m in TagModulation::ALL {
+            let mut phases: Vec<f64> = (0..m.order())
+                .map(|v| {
+                    let bits: Vec<bool> =
+                        (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                    bits_to_phase(m, &bits)
+                })
+                .collect();
+            phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let step = 2.0 * std::f64::consts::PI / m.order() as f64;
+            for (i, p) in phases.iter().enumerate() {
+                assert!((p - i as f64 * step).abs() < 1e-12, "{m:?} {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_decision_tolerates_noise_within_half_step() {
+        let m = TagModulation::Psk16;
+        let bits = vec![true, false, true, false];
+        let phase = bits_to_phase(m, &bits);
+        let step = 2.0 * std::f64::consts::PI / 16.0;
+        assert_eq!(phase_to_bits(m, phase + 0.45 * step), bits);
+        assert_eq!(phase_to_bits(m, phase - 0.45 * step), bits);
+    }
+
+    #[test]
+    fn negative_phase_wraps() {
+        let m = TagModulation::Qpsk;
+        let bits = phase_to_bits(m, -0.1);
+        assert_eq!(bits, phase_to_bits(m, 2.0 * std::f64::consts::PI - 0.1));
+    }
+
+    #[test]
+    fn soft_bits_sign_matches_hard_decision() {
+        for m in TagModulation::ALL {
+            for v in 0..m.order() {
+                let bits: Vec<bool> = (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                let phase = bits_to_phase(m, &bits);
+                let z = Complex::from_polar(1.0, phase);
+                let mut llr = Vec::new();
+                soft_bits(m, z, 1.0, 0.01, &mut llr);
+                for (i, &b) in bits.iter().enumerate() {
+                    assert_eq!(llr[i] > 0.0, b, "{m:?} v={v} bit {i}");
+                }
+            }
+        }
+    }
+}

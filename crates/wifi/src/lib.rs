@@ -1,0 +1,40 @@
+//! # backfi-wifi
+//!
+//! A complete 802.11a/g OFDM PHY (20 MHz, 6–54 Mbit/s) plus the minimal MAC
+//! machinery BackFi needs.
+//!
+//! In the BackFi system (SIGCOMM 2015) the WiFi packet the AP is sending to a
+//! normal client *is* the backscatter excitation signal, so the reproduction
+//! needs a real transmitter: the decoder's performance depends on the
+//! wideband, frequency-selective nature of OFDM (that is exactly why the
+//! single-tap RFID canceller fails, §3.2). The receiver side is needed too:
+//! the coexistence experiments (Figs. 12b/13) measure how the *client's*
+//! decoding suffers when a tag is backscattering.
+//!
+//! Layout (smoltcp-style: wire formats separated from state machines):
+//!
+//! * [`params`] — OFDM numerology and the eight 802.11g rates,
+//! * [`modmap`] — constellation mapping and max-log soft demapping,
+//! * [`subcarrier`] — data/pilot subcarrier layout and pilot polarity,
+//! * [`preamble`] — STF/LTF generation and their detection metrics,
+//! * [`signal_field`] — the SIGNAL field (rate + length header),
+//! * [`tx`] — the full transmitter chain,
+//! * [`rx`] — the full receiver chain (sync, CFO, channel est, equalize,
+//!   decode),
+//! * [`mac`] — CTS-to-self and data frames, FCS, airtime arithmetic.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod mac;
+pub mod modmap;
+pub mod params;
+pub mod preamble;
+pub mod rx;
+pub mod signal_field;
+pub mod subcarrier;
+pub mod tx;
+
+pub use params::{Mcs, OFDM};
+pub use rx::{RxError, WifiReceiver};
+pub use tx::WifiTransmitter;

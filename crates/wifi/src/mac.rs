@@ -1,0 +1,208 @@
+//! Minimal 802.11 MAC: just enough framing for the BackFi protocol.
+//!
+//! The BackFi AP "transmits a CTS_to_SELF packet to force other WiFi devices
+//! to keep silent" (§4.1) and then sends an ordinary data frame to its client
+//! — that data frame is the backscatter excitation. This module builds and
+//! parses those two frame types (with real FCS), and provides the airtime
+//! arithmetic used by the network/trace simulators.
+
+use crate::params::Mcs;
+use backfi_coding::crc::{crc32_append, crc32_check};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// A deterministic locally-administered address derived from an id.
+    pub fn local(id: u16) -> MacAddr {
+        let [a, b] = id.to_be_bytes();
+        MacAddr([0x02, 0x00, 0x00, 0x00, a, b])
+    }
+}
+
+/// Frame types this MAC understands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A CTS frame addressed to the sender itself, reserving the medium for
+    /// `duration_us` microseconds.
+    CtsToSelf {
+        /// The address that sent (and is addressed by) the CTS.
+        addr: MacAddr,
+        /// NAV duration in microseconds.
+        duration_us: u16,
+    },
+    /// A data frame carrying an LLC payload.
+    Data {
+        /// Destination address.
+        dst: MacAddr,
+        /// Source address.
+        src: MacAddr,
+        /// Sequence number (12 bits used).
+        seq: u16,
+        /// Payload bytes.
+        payload: Bytes,
+    },
+}
+
+/// Frame-control constants (type/subtype packed little-endian like 802.11).
+const FC_CTS: u16 = 0b1100_0100; // control / CTS
+const FC_DATA: u16 = 0b0000_1000; // data / data
+
+impl Frame {
+    /// Serialize to a PSDU including the 4-byte FCS.
+    pub fn to_psdu(&self) -> Vec<u8> {
+        let mut b = BytesMut::new();
+        match self {
+            Frame::CtsToSelf { addr, duration_us } => {
+                b.put_u16_le(FC_CTS);
+                b.put_u16_le(*duration_us);
+                b.put_slice(&addr.0);
+            }
+            Frame::Data { dst, src, seq, payload } => {
+                b.put_u16_le(FC_DATA);
+                b.put_u16_le(0); // duration handled by NAV of CTS
+                b.put_slice(&dst.0);
+                b.put_slice(&src.0);
+                b.put_slice(&MacAddr::BROADCAST.0); // BSSID placeholder
+                b.put_u16_le(seq << 4);
+                b.put_slice(payload);
+            }
+        }
+        crc32_append(&b)
+    }
+
+    /// Parse a PSDU; returns `None` when the FCS fails or the frame is
+    /// malformed.
+    pub fn from_psdu(psdu: &[u8]) -> Option<Frame> {
+        if !crc32_check(psdu) {
+            return None;
+        }
+        let body = &psdu[..psdu.len() - 4];
+        if body.len() < 4 {
+            return None;
+        }
+        let fc = u16::from_le_bytes([body[0], body[1]]);
+        match fc {
+            FC_CTS => {
+                if body.len() != 10 {
+                    return None;
+                }
+                let duration_us = u16::from_le_bytes([body[2], body[3]]);
+                let mut addr = [0u8; 6];
+                addr.copy_from_slice(&body[4..10]);
+                Some(Frame::CtsToSelf { addr: MacAddr(addr), duration_us })
+            }
+            FC_DATA => {
+                if body.len() < 24 {
+                    return None;
+                }
+                let mut dst = [0u8; 6];
+                dst.copy_from_slice(&body[4..10]);
+                let mut src = [0u8; 6];
+                src.copy_from_slice(&body[10..16]);
+                let seq = u16::from_le_bytes([body[22], body[23]]) >> 4;
+                Some(Frame::Data {
+                    dst: MacAddr(dst),
+                    src: MacAddr(src),
+                    seq,
+                    payload: Bytes::copy_from_slice(&body[24..]),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Check the FCS of a received PSDU (convenience re-export for receivers that
+/// don't need full parsing).
+pub fn check_fcs(psdu: &[u8]) -> bool {
+    crc32_check(psdu)
+}
+
+/// 802.11 timing constants (OFDM PHY, 20 MHz).
+pub mod timing {
+    /// Short interframe space, µs.
+    pub const SIFS_US: f64 = 16.0;
+    /// DCF interframe space, µs (SIFS + 2 slots).
+    pub const DIFS_US: f64 = 34.0;
+    /// Slot time, µs.
+    pub const SLOT_US: f64 = 9.0;
+}
+
+/// Airtime of a data exchange: CTS-to-self + SIFS + data packet. CTS is sent
+/// at the 6 Mbit/s base rate; the data frame at `mcs`.
+pub fn exchange_airtime_us(mcs: Mcs, payload_bytes: usize) -> f64 {
+    let cts_psdu = 14; // 10-byte body + FCS
+    let data_psdu = 24 + payload_bytes + 4;
+    Mcs::Mbps6.packet_airtime_us(cts_psdu) + timing::SIFS_US + mcs.packet_airtime_us(data_psdu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cts_roundtrip() {
+        let f = Frame::CtsToSelf { addr: MacAddr::local(7), duration_us: 1234 };
+        let psdu = f.to_psdu();
+        assert_eq!(psdu.len(), 14);
+        assert_eq!(Frame::from_psdu(&psdu), Some(f));
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let f = Frame::Data {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            seq: 0x123,
+            payload: Bytes::from_static(b"hello backscatter world"),
+        };
+        let psdu = f.to_psdu();
+        assert_eq!(Frame::from_psdu(&psdu), Some(f));
+    }
+
+    #[test]
+    fn fcs_rejects_corruption() {
+        let f = Frame::Data {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            seq: 1,
+            payload: Bytes::from_static(&[0u8; 64]),
+        };
+        let mut psdu = f.to_psdu();
+        for i in [0usize, 10, 30, psdu.len() - 1] {
+            psdu[i] ^= 0x80;
+            assert_eq!(Frame::from_psdu(&psdu), None, "byte {i}");
+            psdu[i] ^= 0x80;
+        }
+        assert!(Frame::from_psdu(&psdu).is_some());
+    }
+
+    #[test]
+    fn addresses() {
+        assert_ne!(MacAddr::local(1), MacAddr::local(2));
+        assert_eq!(MacAddr::local(9), MacAddr::local(9));
+    }
+
+    #[test]
+    fn exchange_airtime_is_dominated_by_data() {
+        let t_small = exchange_airtime_us(Mcs::Mbps54, 100);
+        let t_big = exchange_airtime_us(Mcs::Mbps54, 1400);
+        assert!(t_big > t_small);
+        // A 1500-byte frame at 6 Mbps takes ~2 ms.
+        let slow = exchange_airtime_us(Mcs::Mbps6, 1500);
+        assert!(slow > 2000.0 && slow < 2300.0, "{slow}");
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert_eq!(Frame::from_psdu(&[1, 2, 3]), None);
+        let good = Frame::CtsToSelf { addr: MacAddr::local(0), duration_us: 1 }.to_psdu();
+        assert_eq!(Frame::from_psdu(&good[..10]), None);
+    }
+}

@@ -1,0 +1,216 @@
+//! Constellation mapping and max-log soft demapping.
+//!
+//! Gray-coded BPSK/QPSK/16-QAM/64-QAM per IEEE 802.11-2012 §18.3.5.8, with
+//! the standard normalization factors (1, 1/√2, 1/√10, 1/√42) so every
+//! constellation has unit average power.
+
+use crate::params::Modulation;
+use backfi_dsp::Complex;
+
+/// Per-axis Gray levels for 16-QAM: input bits (b0 b1) → amplitude.
+const LEVELS4: [f64; 4] = [-3.0, -1.0, 3.0, 1.0]; // index = b0 + 2*b1
+/// Per-axis Gray levels for 64-QAM: index = b0 + 2*b1 + 4*b2.
+const LEVELS8: [f64; 8] = [-7.0, -5.0, -1.0, -3.0, 7.0, 5.0, 1.0, 3.0];
+
+/// Normalization factor K_MOD for a modulation.
+pub fn norm(modulation: Modulation) -> f64 {
+    match modulation {
+        Modulation::Bpsk => 1.0,
+        Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+        Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+        Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+    }
+}
+
+/// Map `bits_per_subcarrier` bits to one constellation point.
+///
+/// Bit order follows the standard: the first half of the bits select the I
+/// axis (first bit is the MSB-like Gray bit), the second half the Q axis.
+/// BPSK uses only the I axis.
+///
+/// # Panics
+/// Panics if `bits.len()` doesn't match the modulation.
+pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Complex {
+    assert_eq!(
+        bits.len(),
+        modulation.bits_per_subcarrier(),
+        "wrong bit count for {modulation:?}"
+    );
+    let k = norm(modulation);
+    match modulation {
+        Modulation::Bpsk => Complex::new(if bits[0] { 1.0 } else { -1.0 }, 0.0),
+        Modulation::Qpsk => Complex::new(
+            if bits[0] { 1.0 } else { -1.0 },
+            if bits[1] { 1.0 } else { -1.0 },
+        )
+        .scale(k),
+        Modulation::Qam16 => {
+            let i = LEVELS4[bits[0] as usize + 2 * bits[1] as usize];
+            let q = LEVELS4[bits[2] as usize + 2 * bits[3] as usize];
+            Complex::new(i, q).scale(k)
+        }
+        Modulation::Qam64 => {
+            let i = LEVELS8[bits[0] as usize + 2 * bits[1] as usize + 4 * bits[2] as usize];
+            let q = LEVELS8[bits[3] as usize + 2 * bits[4] as usize + 4 * bits[5] as usize];
+            Complex::new(i, q).scale(k)
+        }
+    }
+}
+
+/// Map a whole coded-bit block to constellation points.
+///
+/// # Panics
+/// Panics if `bits.len()` is not a multiple of the bits-per-subcarrier.
+pub fn map_block(modulation: Modulation, bits: &[bool]) -> Vec<Complex> {
+    let n = modulation.bits_per_subcarrier();
+    assert_eq!(bits.len() % n, 0, "bit block not a multiple of {n}");
+    bits.chunks_exact(n).map(|c| map_bits(modulation, c)).collect()
+}
+
+/// All constellation points of a modulation together with their bit labels,
+/// used by the max-log demapper and by tests.
+pub fn constellation(modulation: Modulation) -> Vec<(Complex, Vec<bool>)> {
+    let n = modulation.bits_per_subcarrier();
+    (0..1usize << n)
+        .map(|v| {
+            let bits: Vec<bool> = (0..n).map(|i| (v >> i) & 1 == 1).collect();
+            (map_bits(modulation, &bits), bits)
+        })
+        .collect()
+}
+
+/// Max-log LLR soft demapping of one received point.
+///
+/// `noise_var` scales the confidence; `csi` (channel gain magnitude squared)
+/// further weights the result, so faded subcarriers contribute weak metrics —
+/// this is what makes soft-decision Viterbi shine on frequency-selective
+/// channels. Output convention matches `backfi-coding`: positive ⇒ bit 1.
+pub fn demap_soft(
+    modulation: Modulation,
+    point: Complex,
+    csi: f64,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
+    let nbits = modulation.bits_per_subcarrier();
+    let set = constellation(modulation);
+    let scale = csi / noise_var.max(1e-12);
+    for bit in 0..nbits {
+        let mut d0 = f64::INFINITY;
+        let mut d1 = f64::INFINITY;
+        for (p, bits) in &set {
+            let d = (point - *p).norm_sqr();
+            if bits[bit] {
+                d1 = d1.min(d);
+            } else {
+                d0 = d0.min(d);
+            }
+        }
+        out.push((d0 - d1) * scale);
+    }
+}
+
+/// Hard-decision demapping: nearest constellation point's bits.
+pub fn demap_hard(modulation: Modulation, point: Complex) -> Vec<bool> {
+    constellation(modulation)
+        .into_iter()
+        .min_by(|a, b| {
+            (point - a.0)
+                .norm_sqr()
+                .partial_cmp(&(point - b.0).norm_sqr())
+                .unwrap()
+        })
+        .map(|(_, bits)| bits)
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Modulation::*;
+
+    #[test]
+    fn unit_average_power() {
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            let pts = constellation(m);
+            let p: f64 = pts.iter().map(|(c, _)| c.norm_sqr()).sum::<f64>() / pts.len() as f64;
+            assert!((p - 1.0).abs() < 1e-12, "{m:?} power {p}");
+        }
+    }
+
+    #[test]
+    fn constellations_have_distinct_points() {
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            let pts = constellation(m);
+            for i in 0..pts.len() {
+                for j in i + 1..pts.len() {
+                    assert!((pts[i].0 - pts[j].0).abs() > 1e-9, "{m:?} {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gray_property_adjacent_levels_differ_one_bit() {
+        // Sort 16-QAM I-axis levels; adjacent levels must differ in one bit.
+        let mut lv: Vec<(i32, usize)> = (0..4)
+            .map(|v| (LEVELS4[v] as i32, v))
+            .collect();
+        lv.sort();
+        for w in lv.windows(2) {
+            let d = (w[0].1 ^ w[1].1).count_ones();
+            assert_eq!(d, 1, "not gray: {:?}", w);
+        }
+        let mut lv8: Vec<(i32, usize)> = (0..8).map(|v| (LEVELS8[v] as i32, v)).collect();
+        lv8.sort();
+        for w in lv8.windows(2) {
+            assert_eq!((w[0].1 ^ w[1].1).count_ones(), 1, "64qam not gray: {w:?}");
+        }
+    }
+
+    #[test]
+    fn hard_demap_roundtrip() {
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            for (p, bits) in constellation(m) {
+                assert_eq!(demap_hard(m, p), bits, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_sign_matches_bits_at_high_snr() {
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            for (p, bits) in constellation(m) {
+                let mut llr = Vec::new();
+                demap_soft(m, p, 1.0, 0.01, &mut llr);
+                for (i, &b) in bits.iter().enumerate() {
+                    assert_eq!(llr[i] > 0.0, b, "{m:?} bit {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_scales_with_csi() {
+        let mut strong = Vec::new();
+        let mut weak = Vec::new();
+        let pt = map_bits(Qpsk, &[true, false]);
+        demap_soft(Qpsk, pt, 1.0, 0.1, &mut strong);
+        demap_soft(Qpsk, pt, 0.01, 0.1, &mut weak);
+        assert!(strong[0].abs() > weak[0].abs() * 50.0);
+    }
+
+    #[test]
+    fn block_mapping_length() {
+        let bits: Vec<bool> = (0..96).map(|i| i % 2 == 0).collect();
+        assert_eq!(map_block(Qpsk, &bits).len(), 48);
+        assert_eq!(map_block(Qam16, &bits).len(), 24);
+    }
+
+    #[test]
+    fn bpsk_points_are_real() {
+        for (p, _) in constellation(Bpsk) {
+            assert!(p.im.abs() < 1e-12);
+        }
+    }
+}

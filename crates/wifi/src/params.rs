@@ -1,0 +1,257 @@
+//! OFDM numerology and the 802.11g rate set.
+
+use backfi_coding::CodeRate;
+
+/// Fixed 20 MHz OFDM numerology (IEEE 802.11-2012 clause 18).
+pub struct OFDM;
+
+impl OFDM {
+    /// FFT size.
+    pub const FFT: usize = 64;
+    /// Cyclic prefix length in samples (0.8 µs).
+    pub const CP: usize = 16;
+    /// Samples per OFDM symbol (4 µs).
+    pub const SYMBOL: usize = Self::FFT + Self::CP;
+    /// Number of data subcarriers.
+    pub const DATA_CARRIERS: usize = 48;
+    /// Number of pilot subcarriers.
+    pub const PILOT_CARRIERS: usize = 4;
+    /// Subcarrier spacing in Hz (312.5 kHz).
+    pub const SUBCARRIER_SPACING_HZ: f64 = 20.0e6 / 64.0;
+    /// OFDM symbol duration in seconds.
+    pub const SYMBOL_DURATION_S: f64 = Self::SYMBOL as f64 / 20.0e6;
+    /// Preamble duration: STF (8 µs) + LTF (8 µs) = 320 samples.
+    pub const PREAMBLE_LEN: usize = 320;
+}
+
+/// Constellation used on the data subcarriers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 1 bit per subcarrier.
+    Bpsk,
+    /// 2 bits per subcarrier.
+    Qpsk,
+    /// 4 bits per subcarrier.
+    Qam16,
+    /// 6 bits per subcarrier.
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits carried per subcarrier (N_BPSC).
+    pub fn bits_per_subcarrier(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16-QAM",
+            Modulation::Qam64 => "64-QAM",
+        }
+    }
+}
+
+/// The eight 802.11a/g modulation-and-coding schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Mcs {
+    /// 6 Mbit/s — BPSK, rate 1/2.
+    Mbps6,
+    /// 9 Mbit/s — BPSK, rate 3/4.
+    Mbps9,
+    /// 12 Mbit/s — QPSK, rate 1/2.
+    Mbps12,
+    /// 18 Mbit/s — QPSK, rate 3/4.
+    Mbps18,
+    /// 24 Mbit/s — 16-QAM, rate 1/2.
+    Mbps24,
+    /// 36 Mbit/s — 16-QAM, rate 3/4.
+    Mbps36,
+    /// 48 Mbit/s — 64-QAM, rate 2/3.
+    Mbps48,
+    /// 54 Mbit/s — 64-QAM, rate 3/4.
+    Mbps54,
+}
+
+impl Mcs {
+    /// All rates, slowest first.
+    pub const ALL: [Mcs; 8] = [
+        Mcs::Mbps6,
+        Mcs::Mbps9,
+        Mcs::Mbps12,
+        Mcs::Mbps18,
+        Mcs::Mbps24,
+        Mcs::Mbps36,
+        Mcs::Mbps48,
+        Mcs::Mbps54,
+    ];
+
+    /// PHY bit rate in Mbit/s.
+    pub fn mbps(self) -> f64 {
+        match self {
+            Mcs::Mbps6 => 6.0,
+            Mcs::Mbps9 => 9.0,
+            Mcs::Mbps12 => 12.0,
+            Mcs::Mbps18 => 18.0,
+            Mcs::Mbps24 => 24.0,
+            Mcs::Mbps36 => 36.0,
+            Mcs::Mbps48 => 48.0,
+            Mcs::Mbps54 => 54.0,
+        }
+    }
+
+    /// Constellation.
+    pub fn modulation(self) -> Modulation {
+        match self {
+            Mcs::Mbps6 | Mcs::Mbps9 => Modulation::Bpsk,
+            Mcs::Mbps12 | Mcs::Mbps18 => Modulation::Qpsk,
+            Mcs::Mbps24 | Mcs::Mbps36 => Modulation::Qam16,
+            Mcs::Mbps48 | Mcs::Mbps54 => Modulation::Qam64,
+        }
+    }
+
+    /// Convolutional code rate.
+    pub fn code_rate(self) -> CodeRate {
+        match self {
+            Mcs::Mbps6 | Mcs::Mbps12 | Mcs::Mbps24 => CodeRate::Half,
+            Mcs::Mbps48 => CodeRate::TwoThirds,
+            _ => CodeRate::ThreeQuarters,
+        }
+    }
+
+    /// Coded bits per OFDM symbol (N_CBPS).
+    pub fn cbps(self) -> usize {
+        OFDM::DATA_CARRIERS * self.modulation().bits_per_subcarrier()
+    }
+
+    /// Data bits per OFDM symbol (N_DBPS).
+    pub fn dbps(self) -> usize {
+        self.cbps() * self.code_rate().k() / self.code_rate().n()
+    }
+
+    /// The 4-bit RATE field encoding used in the SIGNAL symbol, LSB-first
+    /// order `[R1, R2, R3, R4]` per Table 18-6.
+    pub fn rate_bits(self) -> [bool; 4] {
+        let bits = match self {
+            Mcs::Mbps6 => [1, 1, 0, 1],
+            Mcs::Mbps9 => [1, 1, 1, 1],
+            Mcs::Mbps12 => [0, 1, 0, 1],
+            Mcs::Mbps18 => [0, 1, 1, 1],
+            Mcs::Mbps24 => [1, 0, 0, 1],
+            Mcs::Mbps36 => [1, 0, 1, 1],
+            Mcs::Mbps48 => [0, 0, 0, 1],
+            Mcs::Mbps54 => [0, 0, 1, 1],
+        };
+        bits.map(|b| b == 1)
+    }
+
+    /// Inverse of [`Mcs::rate_bits`].
+    pub fn from_rate_bits(bits: [bool; 4]) -> Option<Mcs> {
+        Mcs::ALL.into_iter().find(|m| m.rate_bits() == bits)
+    }
+
+    /// Number of DATA OFDM symbols needed for a PSDU of `psdu_bytes`
+    /// (16 SERVICE bits + 8·bytes + 6 tail bits, rounded up).
+    pub fn data_symbols(self, psdu_bytes: usize) -> usize {
+        (16 + 8 * psdu_bytes + 6).div_ceil(self.dbps())
+    }
+
+    /// Total packet duration in microseconds: 16 µs preamble + 4 µs SIGNAL +
+    /// 4 µs per DATA symbol.
+    pub fn packet_airtime_us(self, psdu_bytes: usize) -> f64 {
+        16.0 + 4.0 + 4.0 * self.data_symbols(psdu_bytes) as f64
+    }
+
+    /// Minimum post-equalization SNR (dB) at which this MCS sustains ~90 %
+    /// packet success for ~1000-byte frames. Derived from the standard AWGN
+    /// waterfalls of the K=7 code (used by the rate-adaptation model in the
+    /// network simulator; the sample-level receiver is used when exact
+    /// behaviour matters).
+    pub fn required_snr_db(self) -> f64 {
+        match self {
+            Mcs::Mbps6 => 5.0,
+            Mcs::Mbps9 => 7.0,
+            Mcs::Mbps12 => 8.0,
+            Mcs::Mbps18 => 10.5,
+            Mcs::Mbps24 => 13.5,
+            Mcs::Mbps36 => 17.5,
+            Mcs::Mbps48 => 21.5,
+            Mcs::Mbps54 => 23.5,
+        }
+    }
+
+    /// Label such as `"24 Mbps (16-QAM 1/2)"`.
+    pub fn label(self) -> String {
+        format!(
+            "{} Mbps ({} {})",
+            self.mbps(),
+            self.modulation().label(),
+            self.code_rate().label()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbps_table() {
+        // IEEE Table 18-4.
+        let expect = [24, 36, 48, 72, 96, 144, 192, 216];
+        for (mcs, e) in Mcs::ALL.into_iter().zip(expect) {
+            assert_eq!(mcs.dbps(), e, "{mcs:?}");
+        }
+    }
+
+    #[test]
+    fn cbps_table() {
+        let expect = [48, 48, 96, 96, 192, 192, 288, 288];
+        for (mcs, e) in Mcs::ALL.into_iter().zip(expect) {
+            assert_eq!(mcs.cbps(), e, "{mcs:?}");
+        }
+    }
+
+    #[test]
+    fn rate_bits_roundtrip() {
+        for mcs in Mcs::ALL {
+            assert_eq!(Mcs::from_rate_bits(mcs.rate_bits()), Some(mcs));
+        }
+        assert_eq!(Mcs::from_rate_bits([false; 4]), None);
+    }
+
+    #[test]
+    fn mbps_consistent_with_dbps() {
+        for mcs in Mcs::ALL {
+            // N_DBPS per 4 µs symbol == Mbit/s × 4
+            assert_eq!(mcs.dbps() as f64, mcs.mbps() * 4.0, "{mcs:?}");
+        }
+    }
+
+    #[test]
+    fn airtime_annex_g_example() {
+        // 100-byte PSDU at 36 Mbit/s needs 6 DATA symbols (Annex G) -> 44 µs.
+        assert_eq!(Mcs::Mbps36.data_symbols(100), 6);
+        assert!((Mcs::Mbps36.packet_airtime_us(100) - 44.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symbol_duration() {
+        assert_eq!(OFDM::SYMBOL, 80);
+        assert!((OFDM::SYMBOL_DURATION_S - 4e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn required_snr_is_monotone() {
+        for w in Mcs::ALL.windows(2) {
+            assert!(w[0].required_snr_db() < w[1].required_snr_db());
+        }
+    }
+}

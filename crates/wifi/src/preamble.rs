@@ -1,0 +1,164 @@
+//! The 802.11a/g PLCP preamble: short and long training fields.
+//!
+//! * STF — ten repetitions of a 16-sample pattern (8 µs); used for packet
+//!   detection, AGC and coarse CFO.
+//! * LTF — a 32-sample guard plus two identical 64-sample symbols (8 µs);
+//!   used for fine timing, fine CFO and channel estimation.
+
+use crate::subcarrier::bin;
+use backfi_dsp::fft::FftPlan;
+use backfi_dsp::Complex;
+
+/// Frequency-domain definition of the short training symbol: the 12 loaded
+/// subcarriers (±4, ±8, ±12, ±16, ±20, ±24) with their (1+j)/(−1−j) pattern,
+/// scaled by √(13/6).
+pub fn stf_frequency_domain() -> Vec<Complex> {
+    let s = (13.0 / 6.0f64).sqrt();
+    let plus = Complex::new(1.0, 1.0).scale(s);
+    let minus = Complex::new(-1.0, -1.0).scale(s);
+    let loaded: [(i32, Complex); 12] = [
+        (-24, plus),
+        (-20, minus),
+        (-16, plus),
+        (-12, minus),
+        (-8, minus),
+        (-4, plus),
+        (4, minus),
+        (8, minus),
+        (12, plus),
+        (16, plus),
+        (20, plus),
+        (24, plus),
+    ];
+    let mut bins = vec![Complex::ZERO; 64];
+    for (k, v) in loaded {
+        bins[bin(k)] = v;
+    }
+    bins
+}
+
+/// Frequency-domain definition of the long training symbol
+/// (the ±1 sequence on subcarriers −26…26, DC = 0).
+pub fn ltf_frequency_domain() -> Vec<Complex> {
+    const L: [i8; 53] = [
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+        0, // DC
+        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+    ];
+    let mut bins = vec![Complex::ZERO; 64];
+    for (i, &v) in L.iter().enumerate() {
+        let k = i as i32 - 26;
+        if v != 0 {
+            bins[bin(k)] = Complex::real(v as f64);
+        }
+    }
+    bins
+}
+
+/// One period (16 samples) of the time-domain short training symbol.
+pub fn stf_period() -> Vec<Complex> {
+    let plan = FftPlan::new(64);
+    let mut t = stf_frequency_domain();
+    plan.inverse(&mut t);
+    t.truncate(16);
+    t
+}
+
+/// One 64-sample time-domain long training symbol.
+pub fn ltf_symbol() -> Vec<Complex> {
+    let plan = FftPlan::new(64);
+    let mut t = ltf_frequency_domain();
+    plan.inverse(&mut t);
+    t
+}
+
+/// The full 320-sample preamble: 160 samples of STF (10 repetitions) followed
+/// by 160 samples of LTF (32-sample CP + two 64-sample symbols).
+pub fn full_preamble() -> Vec<Complex> {
+    let mut out = Vec::with_capacity(320);
+    let period = stf_period();
+    for _ in 0..10 {
+        out.extend_from_slice(&period);
+    }
+    let sym = ltf_symbol();
+    out.extend_from_slice(&sym[32..]); // 32-sample cyclic prefix
+    out.extend_from_slice(&sym);
+    out.extend_from_slice(&sym);
+    out
+}
+
+/// Sample offsets inside [`full_preamble`].
+pub mod layout {
+    /// Start of the LTF guard interval.
+    pub const LTF_START: usize = 160;
+    /// Start of the first long training symbol.
+    pub const LTF_SYM1: usize = 192;
+    /// Start of the second long training symbol.
+    pub const LTF_SYM2: usize = 256;
+    /// Total preamble length.
+    pub const TOTAL: usize = 320;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_dsp::stats::mean_power;
+
+    #[test]
+    fn stf_period_repeats() {
+        // The 64-sample IFFT of the STF bins is periodic with period 16
+        // because only every 4th subcarrier is loaded.
+        let plan = FftPlan::new(64);
+        let mut t = stf_frequency_domain();
+        plan.inverse(&mut t);
+        for i in 0..48 {
+            assert!((t[i] - t[i + 16]).abs() < 1e-9, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn preamble_length_and_power() {
+        let p = full_preamble();
+        assert_eq!(p.len(), layout::TOTAL);
+        // Sanity: both halves have comparable average power (within 3 dB).
+        let stf_p = mean_power(&p[..160]);
+        let ltf_p = mean_power(&p[160..]);
+        assert!(stf_p > 0.0 && ltf_p > 0.0);
+        let ratio = stf_p / ltf_p;
+        assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ltf_symbols_are_identical() {
+        let p = full_preamble();
+        let s1 = &p[layout::LTF_SYM1..layout::LTF_SYM1 + 64];
+        let s2 = &p[layout::LTF_SYM2..layout::LTF_SYM2 + 64];
+        for i in 0..64 {
+            assert!((s1[i] - s2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ltf_guard_is_cyclic_prefix() {
+        let p = full_preamble();
+        let guard = &p[layout::LTF_START..layout::LTF_START + 32];
+        let tail = &p[layout::LTF_SYM1 + 32..layout::LTF_SYM1 + 64];
+        for i in 0..32 {
+            assert!((guard[i] - tail[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ltf_has_53_loaded_bins() {
+        let f = ltf_frequency_domain();
+        let loaded = f.iter().filter(|v| v.abs() > 0.5).count();
+        assert_eq!(loaded, 52); // 53 positions minus the zero DC
+        assert!(f[0].abs() < 1e-12, "DC must be empty");
+    }
+
+    #[test]
+    fn stf_has_12_loaded_bins() {
+        let f = stf_frequency_domain();
+        assert_eq!(f.iter().filter(|v| v.abs() > 0.5).count(), 12);
+    }
+}

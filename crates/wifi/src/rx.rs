@@ -1,0 +1,501 @@
+//! The 802.11g OFDM receiver chain.
+//!
+//! Detection (STF autocorrelation) → coarse CFO → LTF timing (cross-
+//! correlation) → fine CFO → LTF channel + noise estimation → SIGNAL decode →
+//! per-symbol equalization with pilot phase tracking → soft demap →
+//! deinterleave → depuncture → Viterbi → descramble.
+//!
+//! The coexistence experiments of the paper (Figs. 12b, 13) hinge on this
+//! receiver: a backscattering tag perturbs the client's channel mid-packet,
+//! and the question is how much that costs in post-equalization SNR and
+//! packet success.
+
+use crate::modmap::demap_soft;
+use crate::params::{Mcs, Modulation, OFDM};
+use crate::preamble::{ltf_frequency_domain, ltf_symbol};
+use crate::signal_field::Signal;
+use crate::subcarrier::{
+    bin, data_subcarriers, disassemble_symbol, pilot_polarity_sequence, PILOT_BASE,
+    PILOT_SUBCARRIERS,
+};
+use backfi_coding::bits::bits_to_bytes_lsb;
+use backfi_coding::interleaver::Interleaver;
+use backfi_coding::puncture::depuncture_soft;
+use backfi_coding::ViterbiDecoder;
+use backfi_dsp::correlate::{autocorr_metric, xcorr_normalized};
+use backfi_dsp::fft::FftPlan;
+use backfi_dsp::{stats, Complex, SAMPLE_RATE_HZ};
+
+/// Why a packet could not be decoded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxError {
+    /// No STF-like structure found in the buffer.
+    NotDetected,
+    /// STF found but LTF timing could not be confirmed.
+    SyncFailed,
+    /// The SIGNAL field failed its parity/consistency checks.
+    BadSignalField,
+    /// The buffer ends before the announced packet length.
+    Truncated,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RxError::NotDetected => "no packet detected",
+            RxError::SyncFailed => "LTF synchronization failed",
+            RxError::BadSignalField => "SIGNAL field invalid",
+            RxError::Truncated => "buffer shorter than announced packet",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// A successfully synchronized and decoded packet.
+#[derive(Clone, Debug)]
+pub struct RxPacket {
+    /// Announced and used MCS.
+    pub mcs: Mcs,
+    /// Recovered PSDU bytes (integrity not yet checked — see
+    /// [`crate::mac::check_fcs`]).
+    pub psdu: Vec<u8>,
+    /// Post-equalization SNR estimate in dB (from the LTF).
+    pub snr_db: f64,
+    /// Estimated carrier frequency offset in Hz.
+    pub cfo_hz: f64,
+    /// Sample index where the preamble started.
+    pub start: usize,
+}
+
+/// Channel-probe result: everything up to (not including) payload decoding.
+#[derive(Clone, Debug)]
+pub struct ProbeReport {
+    /// LTF-based SNR estimate in dB.
+    pub snr_db: f64,
+    /// Estimated CFO in Hz.
+    pub cfo_hz: f64,
+    /// Sample index of the preamble start.
+    pub start: usize,
+    /// Per-bin channel estimate (64 entries; unloaded bins are zero).
+    pub channel: Vec<Complex>,
+}
+
+/// Detection thresholds and search limits.
+#[derive(Clone, Copy, Debug)]
+pub struct RxConfig {
+    /// Normalized STF autocorrelation threshold (0–1).
+    pub detect_threshold: f64,
+    /// Normalized LTF cross-correlation threshold (0–1).
+    pub sync_threshold: f64,
+    /// Samples of timing backoff into the cyclic prefix.
+    pub timing_backoff: usize,
+}
+
+impl Default for RxConfig {
+    fn default() -> Self {
+        RxConfig {
+            detect_threshold: 0.7,
+            sync_threshold: 0.55,
+            timing_backoff: 2,
+        }
+    }
+}
+
+/// The receiver. Holds precomputed tables; reusable across packets.
+#[derive(Clone, Debug)]
+pub struct WifiReceiver {
+    plan: FftPlan,
+    polarity: Vec<f64>,
+    ltf_time: Vec<Complex>,
+    ltf_freq: Vec<Complex>,
+    cfg: RxConfig,
+}
+
+impl Default for WifiReceiver {
+    fn default() -> Self {
+        Self::new(RxConfig::default())
+    }
+}
+
+impl WifiReceiver {
+    /// Create a receiver with the given thresholds.
+    pub fn new(cfg: RxConfig) -> Self {
+        WifiReceiver {
+            plan: FftPlan::new(OFDM::FFT),
+            polarity: pilot_polarity_sequence(),
+            ltf_time: ltf_symbol(),
+            ltf_freq: ltf_frequency_domain(),
+            cfg,
+        }
+    }
+
+    /// Synchronize to the strongest packet in `samples` and estimate the
+    /// channel, without decoding the payload.
+    pub fn probe(&self, samples: &[Complex]) -> Result<ProbeReport, RxError> {
+        let sync = self.synchronize(samples)?;
+        Ok(ProbeReport {
+            snr_db: sync.snr_db,
+            cfo_hz: sync.cfo_hz,
+            start: sync.start,
+            channel: sync.channel,
+        })
+    }
+
+    /// Full packet decode.
+    pub fn receive(&self, samples: &[Complex]) -> Result<RxPacket, RxError> {
+        let sync = self.synchronize(samples)?;
+        let x = &sync.corrected;
+        let noise_var = sync.noise_var;
+
+        // ---- SIGNAL symbol ------------------------------------------------
+        let sig_start = sync.data_start;
+        if sig_start + OFDM::SYMBOL > x.len() {
+            return Err(RxError::Truncated);
+        }
+        let sig_llr = self.demap_symbol(x, sig_start, 0, &sync.channel, noise_var, Modulation::Bpsk);
+        let sig_deil = Interleaver::new(48, 1).deinterleave(&sig_llr);
+        let signal = Signal::decode_soft(&sig_deil).ok_or(RxError::BadSignalField)?;
+        let mcs = signal.mcs;
+        let nsym = mcs.data_symbols(signal.length);
+
+        let payload_start = sig_start + OFDM::SYMBOL;
+        if payload_start + nsym * OFDM::SYMBOL > x.len() {
+            return Err(RxError::Truncated);
+        }
+
+        // ---- DATA symbols ---------------------------------------------------
+        let il = Interleaver::new(mcs.cbps(), mcs.modulation().bits_per_subcarrier());
+        let mut llrs = Vec::with_capacity(nsym * mcs.cbps());
+        for n in 0..nsym {
+            let sym_llr = self.demap_symbol(
+                x,
+                payload_start + n * OFDM::SYMBOL,
+                n + 1,
+                &sync.channel,
+                noise_var,
+                mcs.modulation(),
+            );
+            llrs.extend(il.deinterleave(&sym_llr));
+        }
+
+        // ---- decode ---------------------------------------------------------
+        let info_bits = nsym * mcs.dbps();
+        let mother_len = info_bits * 2;
+        let soft = depuncture_soft(&llrs, mcs.code_rate(), mother_len);
+        let scrambled = ViterbiDecoder::ieee80211().decode_soft_truncated(&soft);
+
+        // Descramble: SERVICE bits are zero on air, so the first 7 decoded
+        // bits are the scrambler sequence itself; extend it by its recurrence
+        // z[i] = z[i−4] ⊕ z[i−7].
+        let mut z: Vec<bool> = scrambled[..7].to_vec();
+        for i in 7..scrambled.len() {
+            let next = z[i - 4] ^ z[i - 7];
+            z.push(next);
+        }
+        let bits: Vec<bool> = scrambled.iter().zip(&z).map(|(b, s)| b ^ s).collect();
+
+        let need = 16 + 8 * signal.length;
+        if bits.len() < need {
+            return Err(RxError::Truncated);
+        }
+        let psdu = bits_to_bytes_lsb(&bits[16..need]);
+
+        Ok(RxPacket {
+            mcs,
+            psdu,
+            snr_db: sync.snr_db,
+            cfo_hz: sync.cfo_hz,
+            start: sync.start,
+        })
+    }
+
+    // ---- internals ----------------------------------------------------------
+
+    fn synchronize(&self, samples: &[Complex]) -> Result<SyncState, RxError> {
+        if samples.len() < 480 {
+            return Err(RxError::NotDetected);
+        }
+        // 1. STF detection: 16-sample periodicity.
+        let (p, e) = autocorr_metric(samples, 16, 64);
+        let peak_energy = e.iter().cloned().fold(0.0, f64::max);
+        if peak_energy <= 0.0 {
+            return Err(RxError::NotDetected);
+        }
+        let mut detect = None;
+        for k in 0..p.len() {
+            // Require real energy (vs. the quietest parts of the buffer) so
+            // noise-only regions with flukey correlation don't trigger.
+            if e[k] > 0.05 * peak_energy && p[k].abs() / e[k] > self.cfg.detect_threshold {
+                detect = Some(k);
+                break;
+            }
+        }
+        let coarse = detect.ok_or(RxError::NotDetected)?;
+
+        // 2. Coarse CFO from the STF autocorrelation phase.
+        let cfo1 = -p[coarse].arg() / (2.0 * std::f64::consts::PI * 16.0 / SAMPLE_RATE_HZ);
+        let mut x: Vec<Complex> = samples.to_vec();
+        apply_cfo(&mut x, -cfo1);
+
+        // 3. LTF timing by normalized cross-correlation, confirmed by the
+        // second long symbol exactly 64 samples later.
+        let search_end = (coarse + 500).min(x.len());
+        let window = &x[coarse..search_end];
+        if window.len() < 192 {
+            return Err(RxError::SyncFailed);
+        }
+        let corr = xcorr_normalized(window, &self.ltf_time);
+        let mut best: Option<(usize, f64)> = None;
+        for k in 0..corr.len().saturating_sub(64) {
+            let score = corr[k] + corr[k + 64];
+            if corr[k] > self.cfg.sync_threshold && corr[k + 64] > self.cfg.sync_threshold {
+                match best {
+                    Some((_, b)) if score <= b => {}
+                    _ => best = Some((k, score)),
+                }
+            }
+        }
+        let (rel, _) = best.ok_or(RxError::SyncFailed)?;
+        let ltf1 = (coarse + rel).saturating_sub(self.cfg.timing_backoff);
+        if ltf1 + 128 + OFDM::SYMBOL > x.len() {
+            return Err(RxError::Truncated);
+        }
+
+        // 4. Fine CFO from the two long symbols.
+        let s1 = &x[ltf1..ltf1 + 64];
+        let s2 = &x[ltf1 + 64..ltf1 + 128];
+        // s2 = s1·e^{j2π·cfo·64/fs}, so Σ s1·conj(s2) has phase −2π·cfo·64/fs.
+        let acc: Complex = s1.iter().zip(s2).map(|(a, b)| *a * b.conj()).sum();
+        let cfo2 = -acc.arg() / (2.0 * std::f64::consts::PI * 64.0 / SAMPLE_RATE_HZ);
+        apply_cfo(&mut x, -cfo2);
+
+        // 5. Channel + noise estimation from the two (re-corrected) symbols.
+        let mut f1 = x[ltf1..ltf1 + 64].to_vec();
+        let mut f2 = x[ltf1 + 64..ltf1 + 128].to_vec();
+        self.plan.forward(&mut f1);
+        self.plan.forward(&mut f2);
+        let mut channel = vec![Complex::ZERO; 64];
+        let mut noise_acc = 0.0;
+        let mut sig_acc = 0.0;
+        let mut loaded = 0usize;
+        for k in -26i32..=26 {
+            if k == 0 {
+                continue;
+            }
+            let b = bin(k);
+            let l = self.ltf_freq[b];
+            if l.abs() < 0.5 {
+                continue;
+            }
+            let avg = (f1[b] + f2[b]) / 2.0;
+            channel[b] = avg / l;
+            noise_acc += (f1[b] - f2[b]).norm_sqr() / 2.0;
+            sig_acc += avg.norm_sqr();
+            loaded += 1;
+        }
+        let noise_var = (noise_acc / loaded as f64).max(1e-15);
+        let sig_pow = sig_acc / loaded as f64;
+        let snr_db = stats::db((sig_pow / noise_var).max(1e-12));
+
+        let start = ltf1.saturating_sub(192); // preamble start estimate
+        Ok(SyncState {
+            corrected: x,
+            channel,
+            noise_var,
+            snr_db,
+            cfo_hz: cfo1 + cfo2,
+            data_start: ltf1 + 128,
+            start,
+        })
+    }
+
+    /// FFT one symbol, equalize, track pilot phase, demap soft bits.
+    fn demap_symbol(
+        &self,
+        x: &[Complex],
+        at: usize,
+        n: usize,
+        channel: &[Complex],
+        noise_var: f64,
+        modulation: Modulation,
+    ) -> Vec<f64> {
+        let mut bins = x[at + OFDM::CP..at + OFDM::SYMBOL].to_vec();
+        self.plan.forward(&mut bins);
+
+        // Pilot-based common phase error estimate.
+        let pol = self.polarity[n % self.polarity.len()];
+        let mut acc = Complex::ZERO;
+        for (i, &k) in PILOT_SUBCARRIERS.iter().enumerate() {
+            let b = bin(k);
+            let expected = channel[b] * (PILOT_BASE[i] * pol);
+            acc += bins[b] * expected.conj();
+        }
+        let phase = if acc.abs() > 0.0 { acc.arg() } else { 0.0 };
+        let derot = Complex::exp_j(-phase);
+
+        let (data, _pilots) = disassemble_symbol(&bins);
+        let mut llr = Vec::with_capacity(data.len() * modulation.bits_per_subcarrier());
+        for (pt, k) in data.iter().zip(data_subcarriers()) {
+            let h = channel[bin(k)];
+            let csi = h.norm_sqr();
+            let eq = if csi > 1e-15 {
+                (*pt * derot) / h
+            } else {
+                Complex::ZERO
+            };
+            demap_soft(modulation, eq, csi, noise_var, &mut llr);
+        }
+        llr
+    }
+}
+
+struct SyncState {
+    corrected: Vec<Complex>,
+    channel: Vec<Complex>,
+    noise_var: f64,
+    snr_db: f64,
+    cfo_hz: f64,
+    data_start: usize,
+    start: usize,
+}
+
+/// Apply a frequency shift of `hz` to a sample buffer in place.
+pub fn apply_cfo(x: &mut [Complex], hz: f64) {
+    if hz == 0.0 {
+        return;
+    }
+    let w = 2.0 * std::f64::consts::PI * hz / SAMPLE_RATE_HZ;
+    for (i, v) in x.iter_mut().enumerate() {
+        *v *= Complex::exp_j(w * i as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::WifiTransmitter;
+    use backfi_dsp::noise::add_noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn loopback(mcs: Mcs, len: usize, noise: f64, cfo: f64, pad: usize) -> Result<RxPacket, RxError> {
+        let tx = WifiTransmitter::new();
+        let psdu: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let pkt = tx.transmit(&psdu, mcs, 0x5D);
+        let mut buf = vec![Complex::ZERO; pad];
+        buf.extend_from_slice(&pkt.samples);
+        buf.extend(std::iter::repeat(Complex::ZERO).take(200));
+        let mut rng = StdRng::seed_from_u64(99);
+        add_noise(&mut rng, &mut buf, noise);
+        if cfo != 0.0 {
+            apply_cfo(&mut buf, cfo);
+        }
+        let rx = WifiReceiver::default();
+        let got = rx.receive(&buf)?;
+        assert_eq!(got.psdu, psdu, "PSDU mismatch");
+        Ok(got)
+    }
+
+    #[test]
+    fn clean_loopback_all_rates() {
+        for mcs in Mcs::ALL {
+            loopback(mcs, 200, 0.0, 0.0, 64).unwrap_or_else(|e| panic!("{mcs:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn noisy_loopback_low_rate() {
+        // 20 dB SNR is plenty for 6 Mbps.
+        let got = loopback(Mcs::Mbps6, 300, 0.01, 0.0, 128).expect("decode");
+        assert!(got.snr_db > 15.0, "snr {}", got.snr_db);
+    }
+
+    #[test]
+    fn noisy_loopback_high_rate() {
+        // 30 dB SNR decodes 54 Mbps.
+        loopback(Mcs::Mbps54, 300, 0.001, 0.0, 48).expect("decode");
+    }
+
+    #[test]
+    fn cfo_is_estimated_and_corrected() {
+        let got = loopback(Mcs::Mbps12, 150, 0.003, 40_000.0, 100).expect("decode");
+        assert!(
+            (got.cfo_hz - 40_000.0).abs() < 2_000.0,
+            "cfo estimate {}",
+            got.cfo_hz
+        );
+    }
+
+    #[test]
+    fn detects_start_offset() {
+        let got = loopback(Mcs::Mbps6, 60, 0.001, 0.0, 500).expect("decode");
+        assert!(
+            (got.start as i64 - 500).unsigned_abs() <= 8,
+            "start {}",
+            got.start
+        );
+    }
+
+    #[test]
+    fn noise_only_is_not_detected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = vec![Complex::ZERO; 4000];
+        add_noise(&mut rng, &mut buf, 1.0);
+        let rx = WifiReceiver::default();
+        match rx.receive(&buf) {
+            Err(RxError::NotDetected) | Err(RxError::SyncFailed) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_buffer_reports_truncated() {
+        let tx = WifiTransmitter::new();
+        let pkt = tx.transmit(&vec![9u8; 400], Mcs::Mbps6, 0x5D);
+        let cut = &pkt.samples[..pkt.samples.len() / 2];
+        let rx = WifiReceiver::default();
+        assert_eq!(rx.receive(cut).unwrap_err(), RxError::Truncated);
+    }
+
+    #[test]
+    fn probe_reports_high_snr_on_clean_signal() {
+        let tx = WifiTransmitter::new();
+        let pkt = tx.transmit(&vec![1u8; 100], Mcs::Mbps24, 0x33);
+        let mut buf = pkt.samples.clone();
+        let mut rng = StdRng::seed_from_u64(8);
+        add_noise(&mut rng, &mut buf, 1e-4);
+        let rx = WifiReceiver::default();
+        let probe = rx.probe(&buf).expect("probe");
+        assert!(probe.snr_db > 30.0, "snr {}", probe.snr_db);
+        // channel should be ~flat unit gain
+        let loaded: Vec<f64> = probe
+            .channel
+            .iter()
+            .filter(|h| h.abs() > 1e-6)
+            .map(|h| h.abs())
+            .collect();
+        assert_eq!(loaded.len(), 52);
+    }
+
+    #[test]
+    fn multipath_loopback() {
+        // Two-tap channel within the CP.
+        let tx = WifiTransmitter::new();
+        let psdu: Vec<u8> = (0..250).map(|i| (i ^ 0x5A) as u8).collect();
+        let pkt = tx.transmit(&psdu, Mcs::Mbps24, 0x41);
+        let h = [
+            Complex::from_polar(1.0, 0.4),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::from_polar(0.4, -1.1),
+        ];
+        let mut buf = backfi_dsp::fir::filter(&h, &pkt.samples);
+        let mut rng = StdRng::seed_from_u64(17);
+        add_noise(&mut rng, &mut buf, 1e-4);
+        let rx = WifiReceiver::default();
+        let got = rx.receive(&buf).expect("decode through multipath");
+        assert_eq!(got.psdu, psdu);
+    }
+}

@@ -1,0 +1,142 @@
+//! Subcarrier layout: 48 data + 4 pilot subcarriers in a 64-bin FFT.
+//!
+//! Logical subcarriers −26…+26 (excluding DC) map to FFT bins; pilots sit at
+//! ±7 and ±21 and carry a polarity that follows the 127-chip scrambler
+//! sequence, one step per OFDM symbol (SIGNAL is symbol 0).
+
+use backfi_coding::scrambler::Scrambler;
+use backfi_dsp::Complex;
+
+/// Logical indices of the four pilot subcarriers.
+pub const PILOT_SUBCARRIERS: [i32; 4] = [-21, -7, 7, 21];
+
+/// Base pilot values at (−21, −7, +7, +21) before polarity.
+pub const PILOT_BASE: [f64; 4] = [1.0, 1.0, 1.0, -1.0];
+
+/// Logical indices of the 48 data subcarriers, in transmission order
+/// (ascending from −26 to +26, skipping DC and pilots).
+pub fn data_subcarriers() -> Vec<i32> {
+    (-26..=26)
+        .filter(|&k| k != 0 && !PILOT_SUBCARRIERS.contains(&k))
+        .collect()
+}
+
+/// Map a logical subcarrier index (−32…31, excluding nothing) to its FFT bin.
+///
+/// # Panics
+/// Panics if `k` is outside −32…31.
+pub fn bin(k: i32) -> usize {
+    assert!((-32..=31).contains(&k), "subcarrier index {k} out of range");
+    if k >= 0 {
+        k as usize
+    } else {
+        (64 + k) as usize
+    }
+}
+
+/// The 127-element pilot polarity sequence p₀…p₁₂₆ (+1/−1), generated from
+/// the all-ones scrambler state per §18.3.5.10. Index with `n % 127` where
+/// `n` is the OFDM symbol number counting the SIGNAL symbol as 0.
+pub fn pilot_polarity_sequence() -> Vec<f64> {
+    let mut s = Scrambler::new(0x7F);
+    (0..127)
+        .map(|_| if s.next_bit() { -1.0 } else { 1.0 })
+        .collect()
+}
+
+/// Assemble one frequency-domain OFDM symbol (64 bins) from 48 data points
+/// and the symbol index `n` (for pilot polarity). Unused bins are zero.
+///
+/// # Panics
+/// Panics if `data.len() != 48`.
+pub fn assemble_symbol(data: &[Complex], n: usize, polarity: &[f64]) -> Vec<Complex> {
+    assert_eq!(data.len(), 48, "need exactly 48 data points");
+    let mut bins = vec![Complex::ZERO; 64];
+    for (point, k) in data.iter().zip(data_subcarriers()) {
+        bins[bin(k)] = *point;
+    }
+    let p = polarity[n % polarity.len()];
+    for (i, &k) in PILOT_SUBCARRIERS.iter().enumerate() {
+        bins[bin(k)] = Complex::real(PILOT_BASE[i] * p);
+    }
+    bins
+}
+
+/// Extract the 48 data points and the 4 pilot observations from a 64-bin
+/// frequency-domain symbol. Pilots are returned in the order of
+/// [`PILOT_SUBCARRIERS`].
+pub fn disassemble_symbol(bins: &[Complex]) -> (Vec<Complex>, [Complex; 4]) {
+    assert_eq!(bins.len(), 64, "need a 64-bin symbol");
+    let data = data_subcarriers()
+        .into_iter()
+        .map(|k| bins[bin(k)])
+        .collect();
+    let mut pilots = [Complex::ZERO; 4];
+    for (i, &k) in PILOT_SUBCARRIERS.iter().enumerate() {
+        pilots[i] = bins[bin(k)];
+    }
+    (data, pilots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_eight_data_subcarriers() {
+        let d = data_subcarriers();
+        assert_eq!(d.len(), 48);
+        assert!(!d.contains(&0));
+        for p in PILOT_SUBCARRIERS {
+            assert!(!d.contains(&p));
+        }
+        assert_eq!(*d.first().unwrap(), -26);
+        assert_eq!(*d.last().unwrap(), 26);
+    }
+
+    #[test]
+    fn bin_mapping() {
+        assert_eq!(bin(0), 0);
+        assert_eq!(bin(1), 1);
+        assert_eq!(bin(26), 26);
+        assert_eq!(bin(-1), 63);
+        assert_eq!(bin(-26), 38);
+    }
+
+    #[test]
+    fn polarity_starts_like_standard() {
+        // p0..p15 from §18.3.5.10: 1,1,1,1,-1,-1,-1,1,-1,-1,-1,-1,1,1,-1,1
+        let p = pilot_polarity_sequence();
+        let expect = [
+            1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, 1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, -1.0, 1.0,
+        ];
+        assert_eq!(&p[..16], &expect[..]);
+        assert_eq!(p.len(), 127);
+    }
+
+    #[test]
+    fn assemble_disassemble_roundtrip() {
+        let polarity = pilot_polarity_sequence();
+        let data: Vec<Complex> = (0..48)
+            .map(|i| Complex::exp_j(i as f64 * 0.37))
+            .collect();
+        let bins = assemble_symbol(&data, 5, &polarity);
+        let (d2, pilots) = disassemble_symbol(&bins);
+        assert_eq!(d2, data);
+        // symbol 5 has polarity −1
+        assert!((pilots[0].re + 1.0).abs() < 1e-12);
+        assert!((pilots[3].re - 1.0).abs() < 1e-12);
+        // DC bin must be empty
+        assert!(bins[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn guard_bins_are_zero() {
+        let polarity = pilot_polarity_sequence();
+        let data = vec![Complex::ONE; 48];
+        let bins = assemble_symbol(&data, 0, &polarity);
+        for k in 27..=37 {
+            assert!(bins[k].abs() < 1e-12, "guard bin {k} loaded");
+        }
+    }
+}

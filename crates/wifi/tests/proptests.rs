@@ -1,0 +1,94 @@
+//! Property-based tests of the 802.11 PHY: arbitrary PSDUs must survive the
+//! TX→RX loop at every rate, and the frame layer must reject corruption.
+
+use backfi_dsp::Complex;
+use backfi_wifi::mac::{Frame, MacAddr};
+use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn any_mcs() -> impl Strategy<Value = Mcs> {
+    (0usize..8).prop_map(|i| Mcs::ALL[i])
+}
+
+proptest! {
+    // The loopback cases are heavier; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn clean_loopback_any_psdu(psdu in proptest::collection::vec(any::<u8>(), 1..400),
+                               mcs in any_mcs(), seed in 1u8..=0x7F) {
+        let tx = WifiTransmitter::new();
+        let pkt = tx.transmit(&psdu, mcs, seed);
+        let mut buf = vec![Complex::ZERO; 80];
+        buf.extend_from_slice(&pkt.samples);
+        buf.extend(std::iter::repeat(Complex::ZERO).take(120));
+        let rx = WifiReceiver::default();
+        let got = rx.receive(&buf).expect("clean loopback must decode");
+        prop_assert_eq!(got.mcs, mcs);
+        prop_assert_eq!(got.psdu, psdu);
+    }
+
+    #[test]
+    fn signal_field_roundtrip(mcs in any_mcs(), len in 1usize..4096) {
+        use backfi_wifi::signal_field::Signal;
+        let s = Signal { mcs, length: len };
+        prop_assert_eq!(Signal::from_bits(&s.to_bits()), Some(s));
+    }
+
+    #[test]
+    fn mac_frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                           seq in 0u16..4096, d in any::<u16>(), s in any::<u16>()) {
+        let f = Frame::Data {
+            dst: MacAddr::local(d),
+            src: MacAddr::local(s),
+            seq,
+            payload: Bytes::from(payload),
+        };
+        let psdu = f.to_psdu();
+        prop_assert_eq!(Frame::from_psdu(&psdu), Some(f));
+    }
+
+    #[test]
+    fn mac_rejects_any_corruption(payload in proptest::collection::vec(any::<u8>(), 0..64),
+                                  byte in 0usize..96, flip in 1u8..=255) {
+        let f = Frame::Data {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            seq: 7,
+            payload: Bytes::from(payload),
+        };
+        let mut psdu = f.to_psdu();
+        let i = byte % psdu.len();
+        psdu[i] ^= flip;
+        prop_assert_eq!(Frame::from_psdu(&psdu), None);
+    }
+
+    #[test]
+    fn airtime_monotone_in_payload(mcs in any_mcs(), a in 1usize..2000, b in 1usize..2000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(mcs.packet_airtime_us(lo) <= mcs.packet_airtime_us(hi));
+    }
+
+    #[test]
+    fn faster_mcs_shorter_airtime(len in 50usize..2000) {
+        for pair in Mcs::ALL.windows(2) {
+            prop_assert!(pair[1].packet_airtime_us(len) <= pair[0].packet_airtime_us(len));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn constellation_mapping_roundtrip(bits in proptest::collection::vec(any::<bool>(), 6..7),
+                                       m in 0usize..4) {
+        use backfi_wifi::modmap::{demap_hard, map_bits};
+        use backfi_wifi::params::Modulation;
+        let modulation = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][m];
+        let n = modulation.bits_per_subcarrier();
+        let point = map_bits(modulation, &bits[..n]);
+        prop_assert_eq!(demap_hard(modulation, point), bits[..n].to_vec());
+    }
+}

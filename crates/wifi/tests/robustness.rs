@@ -1,0 +1,120 @@
+//! Receiver robustness sweeps: CFO, SNR ladders, timing, and channel
+//! conditions. These are the impairments a real client endures while the
+//! coexistence experiments run on top of it.
+
+use backfi_dsp::noise::add_noise;
+use backfi_dsp::Complex;
+use backfi_wifi::rx::apply_cfo;
+use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn loop_once(
+    mcs: Mcs,
+    noise: f64,
+    cfo_hz: f64,
+    pad: usize,
+    seed: u64,
+    taps: &[Complex],
+) -> bool {
+    let tx = WifiTransmitter::new();
+    let psdu: Vec<u8> = (0..300).map(|i| (i * 31 + seed as usize) as u8).collect();
+    let pkt = tx.transmit(&psdu, mcs, ((seed as u8) & 0x7E) | 1);
+    let mut buf = vec![Complex::ZERO; pad];
+    buf.extend(backfi_dsp::fir::filter(taps, &pkt.samples));
+    buf.extend(std::iter::repeat(Complex::ZERO).take(160));
+    let mut rng = StdRng::seed_from_u64(seed);
+    add_noise(&mut rng, &mut buf, noise);
+    if cfo_hz != 0.0 {
+        apply_cfo(&mut buf, cfo_hz);
+    }
+    WifiReceiver::default()
+        .receive(&buf)
+        .map(|got| got.psdu == psdu)
+        .unwrap_or(false)
+}
+
+const FLAT: &[Complex] = &[Complex::ONE];
+
+#[test]
+fn survives_cfo_up_to_100khz() {
+    // 802.11 tolerates ±20 ppm at 2.4 GHz ≈ ±48 kHz per side; our receiver
+    // should comfortably track ±100 kHz.
+    for cfo in [-100e3, -40e3, 0.0, 40e3, 100e3] {
+        assert!(
+            loop_once(Mcs::Mbps12, 1e-3, cfo, 90, 4, FLAT),
+            "failed at CFO {cfo}"
+        );
+    }
+}
+
+#[test]
+fn per_is_monotone_in_snr() {
+    // Sweep noise power at 24 Mbps; success must not *improve* as noise grows.
+    let mut successes = Vec::new();
+    for noise in [1e-4, 3e-2, 1e-1, 0.5] {
+        let ok = (0..4).filter(|&s| loop_once(Mcs::Mbps24, noise, 0.0, 50, s, FLAT)).count();
+        successes.push(ok);
+    }
+    for w in successes.windows(2) {
+        assert!(w[1] <= w[0], "PER not monotone: {successes:?}");
+    }
+    assert_eq!(successes[0], 4, "clean case must always decode");
+    assert_eq!(*successes.last().unwrap(), 0, "3 dB SNR must fail 16-QAM 1/2");
+}
+
+#[test]
+fn higher_mcs_needs_more_snr() {
+    // At a noise level where 6 Mbps sails, 54 Mbps must struggle.
+    let noise = 0.05; // ≈13 dB SNR
+    let ok6 = (0..4).filter(|&s| loop_once(Mcs::Mbps6, noise, 0.0, 60, s, FLAT)).count();
+    let ok54 = (0..4).filter(|&s| loop_once(Mcs::Mbps54, noise, 0.0, 60, s, FLAT)).count();
+    assert_eq!(ok6, 4, "6 Mbps should survive 13 dB");
+    assert_eq!(ok54, 0, "54 Mbps needs ~24 dB");
+}
+
+#[test]
+fn arbitrary_start_offsets() {
+    for pad in [0usize, 1, 7, 33, 250, 1111] {
+        assert!(
+            loop_once(Mcs::Mbps12, 1e-3, 0.0, pad, 9, FLAT),
+            "failed at pad {pad}"
+        );
+    }
+}
+
+#[test]
+fn deep_in_cp_multipath() {
+    // An 8-tap channel (400 ns delay spread) still inside the 800 ns CP.
+    let taps: Vec<Complex> = (0..8)
+        .map(|i| Complex::from_polar(0.8f64.powi(i), i as f64 * 1.1))
+        .collect();
+    for seed in 0..3 {
+        assert!(
+            loop_once(Mcs::Mbps12, 1e-4, 0.0, 40, seed, &taps),
+            "multipath failure at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn back_to_back_packets_decode_first() {
+    // Two packets separated by a SIFS — the receiver must lock the first.
+    let tx = WifiTransmitter::new();
+    let a: Vec<u8> = (0..100).map(|i| i as u8).collect();
+    let b: Vec<u8> = (0..100).map(|i| (i ^ 0xFF) as u8).collect();
+    let pa = tx.transmit(&a, Mcs::Mbps12, 0x5D);
+    let pb = tx.transmit(&b, Mcs::Mbps12, 0x33);
+    let mut buf = vec![Complex::ZERO; 64];
+    buf.extend_from_slice(&pa.samples);
+    buf.extend(std::iter::repeat(Complex::ZERO).take(320));
+    buf.extend_from_slice(&pb.samples);
+    let mut rng = StdRng::seed_from_u64(1);
+    add_noise(&mut rng, &mut buf, 1e-4);
+    let rx = WifiReceiver::default();
+    let got = rx.receive(&buf).expect("first packet");
+    assert_eq!(got.psdu, a);
+    // …and the second decodes from past the first.
+    let got2 = rx.receive(&buf[got.start + pa.samples.len()..]).expect("second packet");
+    assert_eq!(got2.psdu, b);
+}

@@ -1,0 +1,73 @@
+//! # BackFi — high-throughput WiFi backscatter, reproduced in Rust
+//!
+//! A full-system reproduction of *"BackFi: High Throughput WiFi Backscatter"*
+//! (Bharadia, Joshi, Kotaru, Katti — SIGCOMM 2015): an IoT tag that
+//! piggybacks megabit-class uplink data on ambient WiFi transmissions by
+//! phase-modulating and reflecting them, and a WiFi AP that decodes those
+//! reflections *while transmitting*, thanks to full-duplex self-interference
+//! cancellation.
+//!
+//! This crate is a facade: it re-exports the workspace crates so downstream
+//! users can depend on a single package.
+//!
+//! ```
+//! use backfi::prelude::*;
+//!
+//! // One reader ↔ tag exchange at half a metre with all defaults.
+//! let mut cfg = LinkConfig::at_distance(0.5);
+//! cfg.excitation.wifi_payload_bytes = 1200;
+//! let report = LinkSimulator::new(cfg).run(42);
+//! assert!(report.success);
+//! assert!(report.cancellation_db > 60.0);
+//! ```
+//!
+//! Layering (bottom-up):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dsp`] | complex baseband primitives (FFT, FIR, correlation, …) |
+//! | [`coding`] | K=7 convolutional code, Viterbi, 802.11 scrambler/interleaver, CRCs, PN |
+//! | [`wifi`] | full 802.11g OFDM PHY (TX+RX) and minimal MAC |
+//! | [`chan`] | link budget, multipath, the backscatter medium (Eq. 1/3) |
+//! | [`tag`] | the IoT sensor: detector, switch-tree modulator, framer, energy model |
+//! | [`sic`] | two-stage self-interference cancellation |
+//! | [`reader`] | the AP-side decoder: channel estimation, MRC (Eq. 7), rate adaptation |
+//! | [`core`] | end-to-end link/network simulators and every figure's harness |
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use backfi_chan as chan;
+pub use backfi_coding as coding;
+pub use backfi_core as core;
+pub use backfi_dsp as dsp;
+pub use backfi_reader as reader;
+pub use backfi_sic as sic;
+pub use backfi_tag as tag;
+pub use backfi_wifi as wifi;
+
+/// The most common imports for building simulations.
+pub mod prelude {
+    pub use backfi_chan::budget::LinkBudget;
+    pub use backfi_chan::medium::{BackscatterMedium, MediumConfig};
+    pub use backfi_coding::CodeRate;
+    pub use backfi_core::excitation::{Excitation, ExcitationConfig};
+    pub use backfi_core::link::{LinkConfig, LinkReport, LinkSimulator};
+    pub use backfi_dsp::Complex;
+    pub use backfi_reader::reader::{BackscatterReader, ReaderConfig};
+    pub use backfi_reader::Timeline;
+    pub use backfi_tag::config::{TagConfig, TagModulation};
+    pub use backfi_tag::Tag;
+    pub use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let cfg = LinkConfig::at_distance(2.0);
+        assert_eq!(cfg.tag, TagConfig::default());
+        let _ = Complex::ONE;
+    }
+}

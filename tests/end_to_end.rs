@@ -1,0 +1,93 @@
+//! End-to-end integration: the full BackFi system across every crate.
+
+use backfi::prelude::*;
+
+fn quick(distance: f64) -> LinkConfig {
+    let mut cfg = LinkConfig::at_distance(distance);
+    cfg.excitation.wifi_payload_bytes = 1200;
+    cfg
+}
+
+#[test]
+fn all_modulations_decode_at_close_range() {
+    for m in TagModulation::ALL {
+        let mut cfg = quick(0.5);
+        cfg.tag.modulation = m;
+        cfg.tag.symbol_rate_hz = 1e6;
+        let rep = LinkSimulator::new(cfg).run(3);
+        assert!(rep.success, "{m:?} should decode at 0.5 m: {:?}", rep.reader_error);
+    }
+}
+
+#[test]
+fn both_code_rates_decode() {
+    for r in [CodeRate::Half, CodeRate::TwoThirds] {
+        let mut cfg = quick(1.0);
+        cfg.tag.code_rate = r;
+        let rep = LinkSimulator::new(cfg).run(5);
+        assert!(rep.success, "rate {} failed", r.label());
+    }
+}
+
+#[test]
+fn decoded_payload_is_bit_exact() {
+    let rep = LinkSimulator::new(quick(1.0)).run(17);
+    assert!(rep.success);
+    assert!(rep.ber < 1e-9, "ber {}", rep.ber);
+}
+
+#[test]
+fn throughput_degrades_gracefully_with_range() {
+    // SNR must fall monotonically-ish; success flips from true to false as
+    // a fast configuration is carried out of range.
+    let mut cfg = quick(0.5);
+    cfg.tag = TagConfig {
+        modulation: TagModulation::Psk16,
+        code_rate: CodeRate::Half,
+        symbol_rate_hz: 2.5e6,
+        preamble_us: 32.0,
+    };
+    let near = LinkSimulator::new(cfg.clone()).run(9);
+    assert!(near.success, "16PSK @ 0.5 m: {:?}", near.reader_error);
+    cfg.distance_m = 6.0;
+    let far = LinkSimulator::new(cfg).run(9);
+    assert!(!far.success, "16PSK 2.5 MSPS must fail at 6 m");
+}
+
+#[test]
+fn self_interference_cancellation_is_deep() {
+    let rep = LinkSimulator::new(quick(1.0)).run(21);
+    // ~0 dBm of self-interference down to the residual floor.
+    assert!(rep.cancellation_db > 70.0, "cancellation {}", rep.cancellation_db);
+}
+
+#[test]
+fn longer_preamble_never_hurts_much() {
+    let mut cfg = quick(4.0);
+    cfg.tag.symbol_rate_hz = 500e3;
+    let short = LinkSimulator::new(cfg.clone()).run(31);
+    cfg.tag.preamble_us = 96.0;
+    let long = LinkSimulator::new(cfg).run(31);
+    if short.success {
+        assert!(long.success, "96 µs preamble should not break a working link");
+    }
+    if short.measured_snr_db.is_finite() && long.measured_snr_db.is_finite() {
+        assert!(long.measured_snr_db > short.measured_snr_db - 2.0);
+    }
+}
+
+#[test]
+fn deterministic_reproduction() {
+    let a = LinkSimulator::new(quick(2.0)).run(77);
+    let b = LinkSimulator::new(quick(2.0)).run(77);
+    assert_eq!(a.success, b.success);
+    assert_eq!(a.sent, b.sent);
+    assert!((a.measured_snr_db - b.measured_snr_db).abs() < 1e-12);
+}
+
+#[test]
+fn different_seeds_draw_different_channels() {
+    let a = LinkSimulator::new(quick(2.0)).run(1);
+    let b = LinkSimulator::new(quick(2.0)).run(2);
+    assert!((a.expected_snr_db - b.expected_snr_db).abs() > 1e-6);
+}
