@@ -1,84 +1,87 @@
-//! Criterion benches over the DSP/coding kernels that dominate the
-//! simulator's runtime.
+//! Wall-clock benches over the DSP/coding kernels that dominate the
+//! simulator's runtime. Plain `harness = false` timing loops (no external
+//! bench framework in the offline build): each kernel is warmed up, then
+//! timed over enough iterations to smooth scheduler noise, and reported as
+//! ns/iter on stdout.
 
+use backfi_bench::timing::bench;
 use backfi_dsp::fft::FftPlan;
 use backfi_dsp::fir::filter;
 use backfi_dsp::noise::cgauss_vec;
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
 use backfi_sic::estimator::estimate_fir;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_fft(c: &mut Criterion) {
+fn bench_fft() {
     let plan = FftPlan::new(64);
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::new(1);
     let buf = cgauss_vec(&mut rng, 64, 1.0);
-    c.bench_function("fft64_forward", |b| {
-        b.iter(|| {
-            let mut x = buf.clone();
-            plan.forward(black_box(&mut x));
-            black_box(x[0])
-        })
+    bench("fft64_forward", 2000, || {
+        let mut x = buf.clone();
+        plan.forward(black_box(&mut x));
+        black_box(x[0]);
     });
 }
 
-fn bench_fir(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(2);
+fn bench_fir() {
+    let mut rng = SplitMix64::new(2);
     let x = cgauss_vec(&mut rng, 20_000, 1.0);
     let h = cgauss_vec(&mut rng, 24, 0.01);
-    c.bench_function("fir_filter_20k_x_24taps", |b| {
-        b.iter(|| black_box(filter(black_box(&h), black_box(&x)))[0])
+    bench("fir_filter_20k_x_24taps", 50, || {
+        black_box(filter(black_box(&h), black_box(&x))[0]);
     });
 }
 
-fn bench_xcorr(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(3);
+fn bench_xcorr() {
+    let mut rng = SplitMix64::new(3);
     let x = cgauss_vec(&mut rng, 4_000, 1.0);
     let t = cgauss_vec(&mut rng, 64, 1.0);
-    c.bench_function("xcorr_normalized_4k_x_64", |b| {
-        b.iter(|| black_box(backfi_dsp::correlate::xcorr_normalized(&x, &t))[0])
+    bench("xcorr_normalized_4k_x_64", 50, || {
+        black_box(backfi_dsp::correlate::xcorr_normalized(&x, &t)[0]);
     });
 }
 
-fn bench_viterbi(c: &mut Criterion) {
+fn bench_viterbi() {
     let bits: Vec<bool> = (0..1000).map(|i| (i * 31) % 7 > 2).collect();
     let mut enc = backfi_coding::ConvEncoder::ieee80211();
     let coded = enc.encode_terminated(&bits);
     let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
     let dec = backfi_coding::ViterbiDecoder::ieee80211();
-    c.bench_function("viterbi_k7_1000bits", |b| {
-        b.iter(|| black_box(dec.decode_soft_terminated(black_box(&soft))).len())
+    bench("viterbi_k7_1000bits", 50, || {
+        black_box(dec.decode_soft_terminated(black_box(&soft)).len());
     });
 }
 
-fn bench_ls_estimator(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(4);
+fn bench_ls_estimator() {
+    let mut rng = SplitMix64::new(4);
     let x = cgauss_vec(&mut rng, 640, 1.0);
     let h: Vec<Complex> = cgauss_vec(&mut rng, 6, 0.01);
     let y = filter(&h, &x);
-    c.bench_function("ls_estimate_640samples_6taps", |b| {
-        b.iter(|| black_box(estimate_fir(&x, &y, 6, 1e-9)).map(|v| v.len()))
+    bench("ls_estimate_640samples_6taps", 200, || {
+        black_box(estimate_fir(&x, &y, 6, 1e-9).map(|v| v.len()));
     });
 }
 
-fn bench_mrc(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(5);
+fn bench_mrc() {
+    let mut rng = SplitMix64::new(5);
     let reference = cgauss_vec(&mut rng, 20, 1.0);
     let y: Vec<Complex> = reference.iter().map(|r| *r * Complex::exp_j(0.7)).collect();
-    c.bench_function("mrc_symbol_20samples", |b| {
-        b.iter(|| backfi_reader::mrc::mrc_symbol(black_box(&y), black_box(&reference), 4, 1e-9))
+    bench("mrc_symbol_20samples", 20_000, || {
+        black_box(backfi_reader::mrc::mrc_symbol(
+            black_box(&y),
+            black_box(&reference),
+            4,
+            1e-9,
+        ));
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(20)
+fn main() {
+    bench_fft();
+    bench_fir();
+    bench_xcorr();
+    bench_viterbi();
+    bench_ls_estimator();
+    bench_mrc();
 }
-
-criterion_group! {
-    name = kernels;
-    config = config();
-    targets = bench_fft, bench_fir, bench_xcorr, bench_viterbi, bench_ls_estimator, bench_mrc
-}
-criterion_main!(kernels);

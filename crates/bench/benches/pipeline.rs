@@ -1,55 +1,53 @@
-//! Criterion benches over the composed pipelines: WiFi TX/RX, the
-//! self-interference canceller, and a full BackFi link exchange.
+//! Wall-clock benches over the composed pipelines: WiFi TX/RX, the
+//! self-interference canceller, and a full BackFi link exchange. Plain
+//! `harness = false` timing loops (no external bench framework in the
+//! offline build).
 
+use backfi_bench::timing::bench;
 use backfi_core::link::{LinkConfig, LinkSimulator};
 use backfi_dsp::noise::add_noise;
+use backfi_dsp::rng::SplitMix64;
 use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_wifi_tx(c: &mut Criterion) {
+fn bench_wifi_tx() {
     let tx = WifiTransmitter::new();
     let psdu: Vec<u8> = (0..500).map(|i| i as u8).collect();
-    c.bench_function("wifi_tx_500B_24mbps", |b| {
-        b.iter(|| black_box(tx.transmit(black_box(&psdu), Mcs::Mbps24, 0x5D)).samples.len())
+    bench("wifi_tx_500B_24mbps", 50, || {
+        black_box(
+            tx.transmit(black_box(&psdu), Mcs::Mbps24, 0x5D)
+                .samples
+                .len(),
+        );
     });
 }
 
-fn bench_wifi_rx(c: &mut Criterion) {
+fn bench_wifi_rx() {
     let tx = WifiTransmitter::new();
     let rx = WifiReceiver::default();
     let psdu: Vec<u8> = (0..500).map(|i| i as u8).collect();
     let pkt = tx.transmit(&psdu, Mcs::Mbps24, 0x5D);
     let mut buf = pkt.samples.clone();
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::new(1);
     add_noise(&mut rng, &mut buf, 1e-4);
-    c.bench_function("wifi_rx_500B_24mbps", |b| {
-        b.iter(|| black_box(rx.receive(black_box(&buf))).is_ok())
+    bench("wifi_rx_500B_24mbps", 20, || {
+        black_box(rx.receive(black_box(&buf)).is_ok());
     });
 }
 
-fn bench_full_link(c: &mut Criterion) {
+fn bench_full_link() {
     let mut cfg = LinkConfig::at_distance(1.0);
     cfg.excitation.wifi_payload_bytes = 1200;
     let sim = LinkSimulator::new(cfg);
-    c.bench_function("backfi_link_exchange_0p5ms", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(sim.run(seed)).success
-        })
+    let mut seed = 0u64;
+    bench("backfi_link_exchange_0p5ms", 10, || {
+        seed += 1;
+        black_box(sim.run(seed).success);
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10)
+fn main() {
+    bench_wifi_tx();
+    bench_wifi_rx();
+    bench_full_link();
 }
-
-criterion_group! {
-    name = pipeline;
-    config = config();
-    targets = bench_wifi_tx, bench_wifi_rx, bench_full_link
-}
-criterion_main!(pipeline);

@@ -60,9 +60,18 @@ fn main() {
     cfg.reader.canceller.digital_enabled = false;
     let (_, ok_no_digital) = mean_snr(&cfg, trials, 200);
     println!("cancellation stages (1.5 m):");
-    println!("   both stages   : {snr_full:+.1} dB, {:.0} % frames", ok_full * 100.0);
-    println!("   no analog     : {:.0} % frames (ADC saturates)", ok_no_analog * 100.0);
-    println!("   no digital    : {:.0} % frames (residual SI)", ok_no_digital * 100.0);
+    println!(
+        "   both stages   : {snr_full:+.1} dB, {:.0} % frames",
+        ok_full * 100.0
+    );
+    println!(
+        "   no analog     : {:.0} % frames (ADC saturates)",
+        ok_no_analog * 100.0
+    );
+    println!(
+        "   no digital    : {:.0} % frames (residual SI)",
+        ok_no_digital * 100.0
+    );
     rule(60);
 
     // 3. Preamble length at the edge of range.

@@ -44,7 +44,10 @@ fn main() {
         );
     }
     rule(106);
-    println!("worst deviation from the paper's table: {:.3} %", worst * 100.0);
+    println!(
+        "worst deviation from the paper's table: {:.3} %",
+        worst * 100.0
+    );
     println!(
         "reference EPB: {:.3} pJ/bit (paper: 3.15 pJ/bit)",
         backfi_tag::energy::epb_pj(&backfi_tag::energy::reference_config())

@@ -4,6 +4,7 @@
 //! Sweeps tag distance, cycling every (modulation × coding × symbol-rate)
 //! combination per §6.1's methodology, for 32 µs and 96 µs tag preambles.
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::fig8;
 
@@ -17,7 +18,7 @@ fn main() {
     let budget = budget_from_args();
     let distances = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
     let preambles = [32.0, 96.0];
-    let pts = fig8(&distances, &preambles, &budget);
+    let pts = timed_figure("fig08", || fig8(&distances, &preambles, &budget));
 
     println!(
         "{:>8} | {:>22} | {:>22}",
@@ -29,10 +30,7 @@ fn main() {
             pts.iter()
                 .find(|x| x.preamble_us == p && x.distance_m == d)
                 .map(|x| {
-                    let label = x
-                        .best
-                        .map(|c| c.label())
-                        .unwrap_or_else(|| "-".to_string());
+                    let label = x.best.map(|c| c.label()).unwrap_or_else(|| "-".to_string());
                     format!("{:>10} {label}", fmt_bps(x.max_throughput_bps))
                 })
                 .unwrap_or_default()

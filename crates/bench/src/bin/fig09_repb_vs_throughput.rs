@@ -2,6 +2,7 @@
 //! for the range varying between 0.5 m to 5 m… the vertical line indicates
 //! the maximum throughput that is achievable at a given distance."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::fig9;
 
@@ -14,7 +15,7 @@ fn main() {
     );
     let budget = budget_from_args();
     let ranges = [0.5, 1.0, 2.0, 4.0, 5.0];
-    let curves = fig9(&ranges, &budget);
+    let curves = timed_figure("fig09", || fig9(&ranges, &budget));
 
     for (d, frontier) in &curves {
         println!("range {d} m:");

@@ -3,6 +3,7 @@
 //! achieving 1.25 Mbps we need to spend 2.5× more than power needed for
 //! reference modulation, coding and switching rate."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::fig10;
 
@@ -17,7 +18,7 @@ fn main() {
     let budget = budget_from_args();
     let ranges = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
     let targets = [1.25e6, 5.0e6];
-    let rows = fig10(&ranges, &targets, &budget);
+    let rows = timed_figure("fig10", || fig10(&ranges, &targets, &budget));
 
     println!(
         "{:>8} | {:^34} | {:^34}",

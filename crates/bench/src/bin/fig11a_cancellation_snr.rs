@@ -2,6 +2,7 @@
 //! degradation of the measured SNR vs the expected SNR at the reader of
 //! BackFi." (30 locations × 10 runs; VNA ground truth.)
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, header, rule};
 use backfi_core::figures::fig11a;
 
@@ -14,9 +15,12 @@ fn main() {
     let budget = budget_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let (locations, runs) = if quick { (8, 2) } else { (30, 10) };
-    let (pts, median) = fig11a(locations, runs, &budget);
+    let (pts, median) = timed_figure("fig11a", || fig11a(locations, runs, &budget));
 
-    println!("{:>14} | {:>14} | {:>12}", "expected dB", "measured dB", "degradation");
+    println!(
+        "{:>14} | {:>14} | {:>12}",
+        "expected dB", "measured dB", "degradation"
+    );
     rule(48);
     for p in pts.iter().take(15) {
         println!(

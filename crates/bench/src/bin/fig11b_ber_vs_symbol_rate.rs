@@ -3,6 +3,7 @@
 //! the SNR. This increase in SNR results in lower bit error rate (BER) for a
 //! given modulation."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, header, rule};
 use backfi_core::figures::fig11b;
 use backfi_tag::config::TagModulation;
@@ -18,10 +19,13 @@ fn main() {
     // A placement where the highest symbol rates are error-prone.
     let distance = 3.5;
     let rates = [2.5e6, 2.0e6, 1.0e6, 500e3, 100e3];
-    let pts = fig11b(distance, &rates, &budget);
+    let pts = timed_figure("fig11b", || fig11b(distance, &rates, &budget));
 
     println!("placement: tag at {distance} m, rate-1/2 coding");
-    println!("{:>10} | {:>12} | {:>12}", "sym rate", "BPSK BER", "QPSK BER");
+    println!(
+        "{:>10} | {:>12} | {:>12}",
+        "sym rate", "BPSK BER", "QPSK BER"
+    );
     rule(42);
     for &f in &rates {
         let get = |m: TagModulation| {

@@ -3,6 +3,7 @@
 //! we achieve on an average 4 Mbps throughput vs the maximum throughput of
 //! 5 Mbps" (tag at 2 m, 20 loaded-AP traces).
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::fig12a;
 
@@ -15,7 +16,7 @@ fn main() {
     let budget = budget_from_args();
     let quick = std::env::args().any(|a| a == "--quick");
     let n_traces = if quick { 8 } else { 20 };
-    let (cdf, active) = fig12a(2.0, n_traces, &budget);
+    let (cdf, active) = timed_figure("fig12a", || fig12a(2.0, n_traces, &budget));
 
     println!("continuous-excitation optimum at 2 m: {}", fmt_bps(active));
     println!("{:>14} | {:>6}", "throughput", "CDF");

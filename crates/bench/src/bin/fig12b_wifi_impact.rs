@@ -3,6 +3,7 @@
 //! 0.25 m, we see a 10 % throughput drop when tag is modulating. As the tag
 //! moves away from AP, we see no degradation."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, header, rule};
 use backfi_core::figures::fig12b;
 
@@ -14,7 +15,7 @@ fn main() {
     );
     let budget = budget_from_args();
     let distances = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0];
-    let pts = fig12b(&distances, &budget);
+    let pts = timed_figure("fig12b", || fig12b(&distances, &budget));
 
     println!(
         "{:>10} | {:>12} | {:>12} | {:>8}",

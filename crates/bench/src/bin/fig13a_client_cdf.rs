@@ -5,6 +5,7 @@
 //! Sample-level: real OFDM packets decoded by the full WiFi receiver with
 //! the tag's actual reflected waveform added at the client.
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, header, rule};
 use backfi_core::figures::fig13;
 use backfi_wifi::Mcs;
@@ -16,8 +17,14 @@ fn main() {
         "no degradation at 6 Mbps; noticeable only at 54 Mbps",
     );
     let budget = budget_from_args();
-    let rates = [Mcs::Mbps6, Mcs::Mbps12, Mcs::Mbps24, Mcs::Mbps36, Mcs::Mbps54];
-    let pts = fig13(&rates, &budget);
+    let rates = [
+        Mcs::Mbps6,
+        Mcs::Mbps12,
+        Mcs::Mbps24,
+        Mcs::Mbps36,
+        Mcs::Mbps54,
+    ];
+    let pts = timed_figure("fig13", || fig13(&rates, &budget));
 
     println!(
         "{:>9} | {:>9} | {:>11} | {:>11} | {:>11}",

@@ -1,6 +1,7 @@
 //! Fig. 13b — "shows the degradation of SNR for tag on and tag off for each
 //! point for the plot on the left."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, header, rule};
 use backfi_core::figures::fig13;
 use backfi_wifi::Mcs;
@@ -12,8 +13,14 @@ fn main() {
         "small (≈1–2 dB) degradation, largest for the closest/fastest clients",
     );
     let budget = budget_from_args();
-    let rates = [Mcs::Mbps6, Mcs::Mbps12, Mcs::Mbps24, Mcs::Mbps36, Mcs::Mbps54];
-    let pts = fig13(&rates, &budget);
+    let rates = [
+        Mcs::Mbps6,
+        Mcs::Mbps12,
+        Mcs::Mbps24,
+        Mcs::Mbps36,
+        Mcs::Mbps54,
+    ];
+    let pts = timed_figure("fig13", || fig13(&rates, &budget));
 
     println!(
         "{:>9} | {:>11} | {:>11} | {:>12}",

@@ -2,6 +2,7 @@
 //! throughput, an order of magnitude higher range compared to the best known
 //! WiFi backscatter system [27, 25]."
 
+use backfi_bench::timing::timed_figure;
 use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::headline;
 
@@ -12,7 +13,7 @@ fn main() {
         "10^3x throughput, ~10x range; prior: ≤1 Kbps at <1 m",
     );
     let budget = budget_from_args();
-    let h = headline(&budget);
+    let h = timed_figure("headline", || headline(&budget));
 
     println!("{:>28} | {:>14} | {:>14}", "", "BackFi", "prior [27,25]");
     rule(64);

@@ -1,8 +1,9 @@
 //! # backfi-bench
 //!
 //! The benchmark/reproduction harness: one binary per table and figure of
-//! the paper's evaluation (§5–§6), plus criterion benches over the DSP
-//! kernels and the end-to-end pipeline.
+//! the paper's evaluation (§5–§6), plus wall-clock benches over the DSP
+//! kernels and the end-to-end pipeline (`benches/`, plain timing loops —
+//! no external bench framework in the offline build).
 //!
 //! Run a figure with e.g. `cargo run --release -p backfi-bench --bin
 //! fig08_throughput_vs_range`. Every binary accepts `--quick` for a smoke
@@ -13,6 +14,8 @@
 #![warn(clippy::all)]
 
 use backfi_core::figures::FigureBudget;
+
+pub mod timing;
 
 /// Parse the common CLI convention: `--quick` selects the smoke budget,
 /// anything else (or nothing) the full reproduction budget.

@@ -1,0 +1,142 @@
+//! Minimal wall-clock measurement for the bench targets and figure binaries.
+//!
+//! Instrumentation output goes to **stderr** so the figure tables on stdout
+//! stay byte-identical across runs and thread counts (they are diffed by the
+//! reproduction harness); only the timing lines vary run to run.
+
+use std::time::{Duration, Instant};
+
+/// Time `iters` calls of `f` after one warm-up call and print ns/iter.
+///
+/// Used by the `benches/` targets; prints a single
+/// `name ... <ns>/iter (<iters> iters)` line on stdout.
+pub fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f(); // warm-up: touch caches, fault pages, fill planners
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = t0.elapsed();
+    let per = total.as_nanos() / u128::from(iters.max(1));
+    println!("{name:<36} {per:>12} ns/iter ({iters} iters)");
+}
+
+/// Per-phase wall-clock accounting for the figure binaries.
+///
+/// Call [`PhaseTimer::mark`] at the end of each phase; [`PhaseTimer::report`]
+/// prints one stderr line per phase plus a total, with trials/sec for phases
+/// that counted trials via [`PhaseTimer::mark_with_trials`].
+pub struct PhaseTimer {
+    start: Instant,
+    last: Instant,
+    phases: Vec<(String, Duration, Option<usize>)>,
+}
+
+impl Default for PhaseTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimer {
+    /// Start timing; the first phase begins now.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        PhaseTimer {
+            start: now,
+            last: now,
+            phases: Vec::new(),
+        }
+    }
+
+    /// End the current phase and label it `name`.
+    pub fn mark(&mut self, name: &str) {
+        self.mark_inner(name, None);
+    }
+
+    /// End the current phase, labelling it `name` and recording that it ran
+    /// `trials` link trials (enables the trials/sec column).
+    pub fn mark_with_trials(&mut self, name: &str, trials: usize) {
+        self.mark_inner(name, Some(trials));
+    }
+
+    fn mark_inner(&mut self, name: &str, trials: Option<usize>) {
+        let now = Instant::now();
+        self.phases
+            .push((name.to_string(), now - self.last, trials));
+        self.last = now;
+    }
+
+    /// Total elapsed time since construction.
+    pub fn total(&self) -> Duration {
+        self.last - self.start
+    }
+
+    /// Print the per-phase breakdown to stderr.
+    pub fn report(&self, label: &str) {
+        for (name, dt, trials) in &self.phases {
+            match trials {
+                Some(n) => {
+                    let rate = *n as f64 / dt.as_secs_f64().max(1e-9);
+                    eprintln!(
+                        "# {label} phase={name} wall={:.3}s trials={n} rate={rate:.1} trials/s",
+                        dt.as_secs_f64()
+                    );
+                }
+                None => {
+                    eprintln!("# {label} phase={name} wall={:.3}s", dt.as_secs_f64());
+                }
+            }
+        }
+        let trials: usize = self.phases.iter().filter_map(|(_, _, t)| *t).sum();
+        let total = self.total().as_secs_f64();
+        if trials > 0 {
+            eprintln!(
+                "# {label} total wall={total:.3}s trials={trials} rate={:.1} trials/s",
+                trials as f64 / total.max(1e-9)
+            );
+        } else {
+            eprintln!("# {label} total wall={total:.3}s");
+        }
+    }
+}
+
+/// Run one figure computation and print its wall time and link-trial rate
+/// to stderr.
+///
+/// The trial count comes from the sweep executor's process-wide counters
+/// ([`backfi_core::sweep::metrics_snapshot`]), so the binary doesn't need to
+/// know how many jobs its figure fanned out.
+pub fn timed_figure<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let (jobs0, _) = backfi_core::sweep::metrics_snapshot();
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed().as_secs_f64();
+    let (jobs1, _) = backfi_core::sweep::metrics_snapshot();
+    let trials = jobs1 - jobs0;
+    if trials > 0 {
+        eprintln!(
+            "# {label} wall={wall:.3}s trials={trials} rate={:.1} trials/s",
+            trials as f64 / wall.max(1e-9)
+        );
+    } else {
+        eprintln!("# {label} wall={wall:.3}s");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate() {
+        let mut t = PhaseTimer::new();
+        std::thread::sleep(Duration::from_millis(2));
+        t.mark("a");
+        t.mark_with_trials("b", 10);
+        assert_eq!(t.phases.len(), 2);
+        assert!(t.total() >= Duration::from_millis(2));
+        t.report("test"); // just exercise the printer
+    }
+}

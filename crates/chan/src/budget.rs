@@ -151,7 +151,9 @@ impl LinkBudget {
     /// Power (dBm) of the tag's scattered signal arriving at a client, for a
     /// tag at `d_ap_tag` from the AP and `d_tag_client` from the client.
     pub fn tag_interference_dbm(&self, d_ap_tag: f64, d_tag_client: f64) -> f64 {
-        self.tx_power_dbm - self.tag_scatter_leg_db(d_ap_tag) - self.tag_scatter_leg_db(d_tag_client)
+        self.tx_power_dbm
+            - self.tag_scatter_leg_db(d_ap_tag)
+            - self.tag_scatter_leg_db(d_tag_client)
     }
 }
 
@@ -198,7 +200,11 @@ mod tests {
         let at1 = b.backscatter_snr_db(1.0);
         assert!((at1 - 9.2).abs() < 0.1, "1 m snr {at1}");
         let at05 = b.backscatter_snr_db(0.5);
-        assert!(at05 - at1 > 2.0 && at05 - at1 < 6.0, "0.5 m gap {}", at05 - at1);
+        assert!(
+            at05 - at1 > 2.0 && at05 - at1 < 6.0,
+            "0.5 m gap {}",
+            at05 - at1
+        );
         let at5 = b.backscatter_snr_db(5.0);
         assert!(at5 < -2.0 && at5 > -9.0, "5 m snr {at5}");
         let at7 = b.backscatter_snr_db(7.0);

@@ -14,8 +14,8 @@
 
 use crate::budget::{dbm_to_lin, LinkBudget};
 use backfi_dsp::noise::cgauss;
+use backfi_dsp::rng::Rng;
 use backfi_dsp::Complex;
-use rand::Rng;
 
 /// Configuration for drawing `h_env` realizations.
 #[derive(Clone, Copy, Debug)]
@@ -46,12 +46,15 @@ impl EnvironmentProfile {
     /// the leakage tap carries `budget.leakage_db` of the TX power and the
     /// reflection taps collectively carry `budget.reflections_db`.
     pub fn realize<R: Rng + ?Sized>(&self, budget: &LinkBudget, rng: &mut R) -> Vec<Complex> {
-        assert!(self.leakage_delay < self.taps, "leakage beyond channel length");
+        assert!(
+            self.leakage_delay < self.taps,
+            "leakage beyond channel length"
+        );
         let mut h = vec![Complex::ZERO; self.taps];
 
         // Leakage: fixed power, random phase (cable lengths).
         let leak_amp = dbm_to_lin(budget.leakage_db).sqrt();
-        let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+        let phase = rng.next_f64() * std::f64::consts::TAU;
         h[self.leakage_delay] = Complex::from_polar(leak_amp, phase);
 
         // Reflections: Rayleigh taps under an exponential profile, normalized
@@ -83,12 +86,11 @@ impl EnvironmentProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
     #[test]
     fn leakage_dominates() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let budget = LinkBudget::default();
         let h = EnvironmentProfile::default().realize(&budget, &mut rng);
         let leak = h[0].norm_sqr();
@@ -98,7 +100,7 @@ mod tests {
 
     #[test]
     fn total_si_power_matches_budget() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let budget = LinkBudget::default();
         let profile = EnvironmentProfile::default();
         let n = 300;
@@ -117,7 +119,7 @@ mod tests {
 
     #[test]
     fn tail_energy_decreases_with_k() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let budget = LinkBudget::default();
         let h = EnvironmentProfile::default().realize(&budget, &mut rng);
         let mut prev = 1.0;
@@ -136,7 +138,7 @@ mod tests {
         // canceller must span the full delay spread, and why the remaining
         // ≈2 dB degradation comes from transmitter noise instead (see
         // `LinkBudget::tx_noise_dbc`).
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::new(4);
         let budget = LinkBudget::default();
         let profile = EnvironmentProfile::default();
         let mut fracs = Vec::new();

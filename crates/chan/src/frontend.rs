@@ -22,7 +22,10 @@ impl Default for Adc {
     fn default() -> Self {
         // 12-bit converter whose full scale is set so the AGC'd residual
         // after analog cancellation fits comfortably.
-        Adc { bits: 12, full_scale: 1.0e-2 }
+        Adc {
+            bits: 12,
+            full_scale: 1.0e-2,
+        }
     }
 }
 
@@ -77,13 +80,15 @@ impl Adc {
 mod tests {
     use super::*;
     use backfi_dsp::noise::cgauss_vec;
+    use backfi_dsp::rng::SplitMix64;
     use backfi_dsp::stats::mean_power;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn small_signals_survive() {
-        let adc = Adc { bits: 12, full_scale: 1.0 };
+        let adc = Adc {
+            bits: 12,
+            full_scale: 1.0,
+        };
         let x = Complex::new(0.5, -0.25);
         let y = adc.sample(x);
         assert!((x - y).abs() < adc.step());
@@ -91,7 +96,10 @@ mod tests {
 
     #[test]
     fn saturation_clips() {
-        let adc = Adc { bits: 12, full_scale: 1.0 };
+        let adc = Adc {
+            bits: 12,
+            full_scale: 1.0,
+        };
         let y = adc.sample(Complex::new(5.0, -7.0));
         assert!((y.re - 1.0).abs() < 1e-9);
         assert!((y.im + 1.0).abs() < 1e-9);
@@ -99,8 +107,11 @@ mod tests {
 
     #[test]
     fn quantization_noise_matches_model() {
-        let adc = Adc { bits: 10, full_scale: 1.0 };
-        let mut rng = StdRng::seed_from_u64(1);
+        let adc = Adc {
+            bits: 10,
+            full_scale: 1.0,
+        };
+        let mut rng = SplitMix64::new(1);
         // Uniform-ish complex signal well inside full scale.
         let x = cgauss_vec(&mut rng, 100_000, 0.05);
         let y = adc.convert(&x);
@@ -115,7 +126,10 @@ mod tests {
 
     #[test]
     fn clip_fraction_detects_overdrive() {
-        let adc = Adc { bits: 8, full_scale: 0.1 };
+        let adc = Adc {
+            bits: 8,
+            full_scale: 0.1,
+        };
         let quiet = vec![Complex::new(0.01, 0.0); 100];
         assert_eq!(adc.clip_fraction(&quiet), 0.0);
         let loud = vec![Complex::new(1.0, 0.0); 100];
@@ -133,7 +147,10 @@ mod tests {
 
     #[test]
     fn dynamic_range() {
-        let adc = Adc { bits: 12, full_scale: 1.0 };
+        let adc = Adc {
+            bits: 12,
+            full_scale: 1.0,
+        };
         assert!((adc.dynamic_range_db() - 72.24).abs() < 0.01);
     }
 }

@@ -21,9 +21,8 @@ use crate::environment::EnvironmentProfile;
 use crate::multipath::{cascade, scaled, MultipathProfile};
 use backfi_dsp::fir::filter;
 use backfi_dsp::noise::{add_noise, cgauss_vec};
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::{stats, Complex};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Geometry and propagation profiles of one reader/tag deployment.
 #[derive(Clone, Copy, Debug)]
@@ -62,20 +61,26 @@ pub struct BackscatterMedium {
     pub h_f: Vec<Complex>,
     /// True backward channel, link-budget-scaled.
     pub h_b: Vec<Complex>,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl BackscatterMedium {
     /// Draw a deployment. The same `seed` reproduces the same channels and
     /// noise sequence.
     pub fn new(budget: LinkBudget, cfg: MediumConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let h_env = cfg.environment.realize(&budget, &mut rng);
         // Split the two-way gain evenly (in dB) between the legs.
         let leg_amp = budget.backscatter_amplitude(cfg.distance_m).sqrt();
         let h_f = scaled(&cfg.forward.realize(&mut rng), leg_amp);
         let h_b = scaled(&cfg.backward.realize(&mut rng), leg_amp);
-        BackscatterMedium { budget, h_env, h_f, h_b, rng }
+        BackscatterMedium {
+            budget,
+            h_env,
+            h_f,
+            h_b,
+            rng,
+        }
     }
 
     /// The combined forward∗backward channel — what a VNA would measure and
@@ -105,14 +110,18 @@ impl BackscatterMedium {
     /// # Panics
     /// Panics if `gamma` is shorter than `x`.
     pub fn propagate(&mut self, x: &[Complex], gamma: &[Complex]) -> Vec<Complex> {
-        assert!(gamma.len() >= x.len(), "gamma must cover the whole excitation");
+        assert!(
+            gamma.len() >= x.len(),
+            "gamma must cover the whole excitation"
+        );
         let a = self.budget.tx_power().sqrt();
 
         let tail = self.h_env.len().max(self.h_f.len() + self.h_b.len());
         let out_len = x.len() + tail;
 
         // Self-interference path: (a·x + n_tx) ∗ h_env.
-        let tx_noise_power = self.budget.tx_power() * crate::budget::dbm_to_lin(self.budget.tx_noise_dbc);
+        let tx_noise_power =
+            self.budget.tx_power() * crate::budget::dbm_to_lin(self.budget.tx_noise_dbc);
         let mut tx_sig: Vec<Complex> = x.iter().map(|&v| v * a).collect();
         let n_tx = cgauss_vec(&mut self.rng, tx_sig.len(), tx_noise_power);
         for (s, n) in tx_sig.iter_mut().zip(&n_tx) {
@@ -128,7 +137,13 @@ impl BackscatterMedium {
         let mut modded: Vec<Complex> = z
             .iter()
             .enumerate()
-            .map(|(i, &v)| if i < gamma.len() { v * gamma[i] } else { Complex::ZERO })
+            .map(|(i, &v)| {
+                if i < gamma.len() {
+                    v * gamma[i]
+                } else {
+                    Complex::ZERO
+                }
+            })
             .collect();
         modded.resize(out_len, Complex::ZERO);
         let back = filter(&self.h_b, &modded);
@@ -161,10 +176,9 @@ mod tests {
     /// Deterministic wideband unit-power probe (a tone would fade in
     /// frequency-selective channels and make power checks meaningless).
     fn unit_tone(n: usize) -> Vec<Complex> {
-        use rand::Rng;
-        let mut r = StdRng::seed_from_u64(0xFEED);
+        let mut r = SplitMix64::new(0xFEED);
         (0..n)
-            .map(|_| Complex::exp_j(r.gen::<f64>() * std::f64::consts::TAU))
+            .map(|_| Complex::exp_j(r.next_f64() * std::f64::consts::TAU))
             .collect()
     }
 
@@ -197,11 +211,8 @@ mod tests {
             // Rebuild the same medium to get identical noise, then subtract.
             let mut m2 = BackscatterMedium::new(budget, MediumConfig::at_distance(d), seed);
             let silent = m2.propagate_silent(&x);
-            let tag_only: Vec<Complex> = with_tag
-                .iter()
-                .zip(&silent)
-                .map(|(a, b)| *a - *b)
-                .collect();
+            let tag_only: Vec<Complex> =
+                with_tag.iter().zip(&silent).map(|(a, b)| *a - *b).collect();
             acc += stats::mean_power(&tag_only[..x.len()]);
         }
         let expect_db = budget.backscatter_rx_power_dbm(d);
@@ -238,7 +249,10 @@ mod tests {
         let y = m.propagate(&x, &gamma);
         let total = stats::mean_power(&y[..x.len()]);
         let tag_dbm = budget.backscatter_rx_power_dbm(1.0);
-        assert!(stats::db(total) - tag_dbm > 50.0, "SI should dominate by >50 dB");
+        assert!(
+            stats::db(total) - tag_dbm > 50.0,
+            "SI should dominate by >50 dB"
+        );
     }
 
     #[test]
@@ -259,12 +273,21 @@ mod tests {
         let mut m2 = BackscatterMedium::new(budget, MediumConfig::at_distance(0.5), 11);
         let g1 = vec![Complex::ONE; x.len()];
         let g2: Vec<Complex> = (0..x.len())
-            .map(|i| if i % 2 == 0 { Complex::ONE } else { -Complex::ONE })
+            .map(|i| {
+                if i % 2 == 0 {
+                    Complex::ONE
+                } else {
+                    -Complex::ONE
+                }
+            })
             .collect();
         let y1 = m1.propagate(&x, &g1);
         let y2 = m2.propagate(&x, &g2);
         let diff: f64 = y1.iter().zip(&y2).map(|(a, b)| (*a - *b).norm_sqr()).sum();
-        assert!(diff > 0.0, "different tag data must change the received signal");
+        assert!(
+            diff > 0.0,
+            "different tag data must change the received signal"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! delay profile: a Rician first tap (LOS) followed by Rayleigh taps.
 
 use backfi_dsp::noise::cgauss;
+use backfi_dsp::rng::Rng;
 use backfi_dsp::Complex;
-use rand::Rng;
 
 /// Parameters of a multipath channel realization.
 #[derive(Clone, Copy, Debug)]
@@ -24,12 +24,20 @@ pub struct MultipathProfile {
 impl MultipathProfile {
     /// Typical indoor LOS profile for the tag link: short, LOS-dominated.
     pub fn indoor_los() -> Self {
-        MultipathProfile { taps: 2, decay_taps: 0.7, rician_k_db: 8.0 }
+        MultipathProfile {
+            taps: 2,
+            decay_taps: 0.7,
+            rician_k_db: 8.0,
+        }
     }
 
     /// Richer non-LOS profile (e.g. reflections off walls).
     pub fn indoor_nlos() -> Self {
-        MultipathProfile { taps: 4, decay_taps: 1.2, rician_k_db: f64::NEG_INFINITY }
+        MultipathProfile {
+            taps: 4,
+            decay_taps: 1.2,
+            rician_k_db: f64::NEG_INFINITY,
+        }
     }
 
     /// Draw one unit-energy channel realization.
@@ -52,7 +60,7 @@ impl MultipathProfile {
                 let k = 10f64.powf(self.rician_k_db / 10.0);
                 let los = (var * k / (k + 1.0)).sqrt();
                 let scatter_scale = (1.0 / (k + 1.0)).sqrt();
-                let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+                let phase = rng.next_f64() * std::f64::consts::TAU;
                 tap = Complex::from_polar(los, phase) + tap.scale(scatter_scale);
             }
             h.push(tap);
@@ -83,13 +91,15 @@ pub fn cascade(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
     #[test]
     fn unit_energy() {
-        let mut rng = StdRng::seed_from_u64(1);
-        for profile in [MultipathProfile::indoor_los(), MultipathProfile::indoor_nlos()] {
+        let mut rng = SplitMix64::new(1);
+        for profile in [
+            MultipathProfile::indoor_los(),
+            MultipathProfile::indoor_nlos(),
+        ] {
             for _ in 0..50 {
                 let h = profile.realize(&mut rng);
                 let e: f64 = h.iter().map(|t| t.norm_sqr()).sum();
@@ -101,8 +111,12 @@ mod tests {
 
     #[test]
     fn los_tap_dominates_with_high_k() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let p = MultipathProfile { taps: 4, decay_taps: 1.0, rician_k_db: 20.0 };
+        let mut rng = SplitMix64::new(2);
+        let p = MultipathProfile {
+            taps: 4,
+            decay_taps: 1.0,
+            rician_k_db: 20.0,
+        };
         let mut first_tap_energy = 0.0;
         let n = 200;
         for _ in 0..n {
@@ -114,7 +128,7 @@ mod tests {
 
     #[test]
     fn rayleigh_taps_vary_between_draws() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let p = MultipathProfile::indoor_nlos();
         let a = p.realize(&mut rng);
         let b = p.realize(&mut rng);
@@ -130,7 +144,7 @@ mod tests {
 
     #[test]
     fn scaled_energy() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::new(4);
         let h = MultipathProfile::indoor_los().realize(&mut rng);
         let s = scaled(&h, 0.1);
         let e: f64 = s.iter().map(|t| t.norm_sqr()).sum();
@@ -140,8 +154,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let p = MultipathProfile::indoor_nlos();
-        let a = p.realize(&mut StdRng::seed_from_u64(9));
-        let b = p.realize(&mut StdRng::seed_from_u64(9));
+        let a = p.realize(&mut SplitMix64::new(9));
+        let b = p.realize(&mut SplitMix64::new(9));
         assert_eq!(a, b);
     }
 }

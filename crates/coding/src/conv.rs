@@ -43,7 +43,12 @@ impl ConvEncoder {
     /// Panics if `k` is 0 or greater than 16.
     pub fn new(k: usize, g0: u32, g1: u32) -> Self {
         assert!(k > 0 && k <= 16, "constraint length must be in 1..=16");
-        ConvEncoder { k, g0, g1, state: 0 }
+        ConvEncoder {
+            k,
+            g0,
+            g1,
+            state: 0,
+        }
     }
 
     /// Constraint length.
@@ -119,7 +124,7 @@ mod tests {
         // since the newest bit occupies the MSB).
         let mut enc = ConvEncoder::ieee80211();
         let mut input = vec![true];
-        input.extend(std::iter::repeat(false).take(6));
+        input.extend(std::iter::repeat_n(false, 6));
         let out = enc.encode_terminated(&input);
         let g0_bits: Vec<bool> = (0..7).rev().map(|i| (G0 >> i) & 1 == 1).collect();
         let g1_bits: Vec<bool> = (0..7).rev().map(|i| (G1 >> i) & 1 == 1).collect();

@@ -26,9 +26,10 @@ impl Interleaver {
             matches!(nbpsc, 1 | 2 | 4 | 6),
             "nbpsc must be 1, 2, 4 or 6 (got {nbpsc})"
         );
-        assert!(ncbps % 16 == 0, "ncbps must be a multiple of 16");
+        assert!(ncbps.is_multiple_of(16), "ncbps must be a multiple of 16");
         let s = (nbpsc / 2).max(1);
         let mut perm = vec![0usize; ncbps];
+        #[allow(clippy::needless_range_loop)] // k feeds both permutation formulas
         for k in 0..ncbps {
             // First permutation (write row-wise into 16 columns).
             let i = (ncbps / 16) * (k % 16) + k / 16;

@@ -28,7 +28,7 @@ impl Lfsr {
     /// # Panics
     /// Panics if `degree` is 0 or > 31, or `state` is zero after masking.
     pub fn new(degree: u32, taps: u32, state: u32) -> Self {
-        assert!(degree >= 1 && degree <= 31, "degree must be 1..=31");
+        assert!((1..=31).contains(&degree), "degree must be 1..=31");
         let mask = (1u32 << degree) - 1;
         let state = state & mask;
         assert!(state != 0, "LFSR state must be nonzero");
@@ -49,11 +49,11 @@ impl Lfsr {
         // (bit 0 is always set because the polynomial's constant term maps to
         // the oldest register bit under this crate's shift-right convention).
         let taps = match degree {
-            4 => 0b1001,               // x^4 + x^3 + 1
-            5 => 0b0_1001,             // x^5 + x^3 + 1
-            6 => 0b10_0001,            // x^6 + x^5 + 1
-            7 => 0b100_0001,           // x^7 + x^6 + 1
-            9 => 0b0_0010_0001,        // x^9 + x^5 + 1
+            4 => 0b1001,                // x^4 + x^3 + 1
+            5 => 0b0_1001,              // x^5 + x^3 + 1
+            6 => 0b10_0001,             // x^6 + x^5 + 1
+            7 => 0b100_0001,            // x^7 + x^6 + 1
+            9 => 0b0_0010_0001,         // x^9 + x^5 + 1
             15 => 0b100_0000_0000_0001, // x^15 + x^14 + 1
             _ => panic!("no canned maximal polynomial for degree {degree}"),
         };
@@ -125,7 +125,10 @@ mod tests {
             assert_eq!(&seq[..period], &seq[period..], "degree {degree}");
             // no shorter period dividing it: check the first repeat isn't earlier
             for p in 1..period {
-                if period % p == 0 && seq[..p] == seq[p..2 * p] && seq[..period - p] == seq[p..period] {
+                if period.is_multiple_of(p)
+                    && seq[..p] == seq[p..2 * p]
+                    && seq[..period - p] == seq[p..period]
+                {
                     panic!("degree {degree} repeated at {p}");
                 }
             }

@@ -104,7 +104,10 @@ pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> 
             out.push(0.0);
         }
     }
-    assert!(src.next().is_none(), "punctured stream too long for mother_len");
+    assert!(
+        src.next().is_none(),
+        "punctured stream too long for mother_len"
+    );
     out
 }
 
@@ -121,7 +124,10 @@ pub fn depuncture_hard(punctured: &[bool], rate: CodeRate, mother_len: usize) ->
             out.push(None);
         }
     }
-    assert!(src.next().is_none(), "punctured stream too long for mother_len");
+    assert!(
+        src.next().is_none(),
+        "punctured stream too long for mother_len"
+    );
     out
 }
 

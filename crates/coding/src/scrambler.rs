@@ -73,9 +73,7 @@ mod tests {
         // IEEE 802.11-2012 Table L-6: with all-ones initial state the first
         // scrambler output bits are 0000 1110 1111 0010 ...
         let mut s = Scrambler::new(0x7F);
-        let expect = [
-            0u8, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0,
-        ];
+        let expect = [0u8, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(s.next_bit() as u8, e, "bit {i}");
         }

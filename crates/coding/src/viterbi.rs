@@ -63,7 +63,11 @@ impl ViterbiDecoder {
     /// Decoder for the standard K=7 (133, 171) code.
     pub fn ieee80211() -> Self {
         ViterbiDecoder {
-            trellis: Trellis::new(crate::conv::CONSTRAINT_LENGTH, crate::conv::G0, crate::conv::G1),
+            trellis: Trellis::new(
+                crate::conv::CONSTRAINT_LENGTH,
+                crate::conv::G0,
+                crate::conv::G1,
+            ),
             k: crate::conv::CONSTRAINT_LENGTH,
         }
     }
@@ -71,7 +75,7 @@ impl ViterbiDecoder {
     /// Decoder for a custom rate-1/2 code matching
     /// [`ConvEncoder::new`](crate::conv::ConvEncoder::new).
     pub fn new(k: usize, g0: u32, g1: u32) -> Self {
-        assert!(k >= 2 && k <= 16, "constraint length must be in 2..=16");
+        assert!((2..=16).contains(&k), "constraint length must be in 2..=16");
         ViterbiDecoder {
             trellis: Trellis::new(k, g0, g1),
             k,
@@ -142,6 +146,7 @@ impl ViterbiDecoder {
             let m1 = soft[2 * t + 1];
             metric_next.iter_mut().for_each(|m| *m = NEG);
             let surv = &mut survivor[t * ns..(t + 1) * ns];
+            #[allow(clippy::needless_range_loop)] // s is the state label, not just an index
             for s in 0..ns {
                 let pm = metric[s];
                 if pm == NEG {
@@ -279,7 +284,8 @@ mod tests {
             tx[idx] = !tx[idx];
         }
         let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
-        let dec = ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, CodeRate::TwoThirds, info);
+        let dec =
+            ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, CodeRate::TwoThirds, info);
         assert_eq!(dec, bits);
     }
 

@@ -1,6 +1,10 @@
-//! Property-based tests over the coding stack: any bit stream must survive
+//! Randomized tests over the coding stack: any bit stream must survive
 //! encode → (puncture →) channel-free decode, and every integrity mechanism
 //! must catch random mutations.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree [`SplitMix64`]
+//! generator so the suite builds offline and every case is reproducible from
+//! its loop index.
 
 use backfi_coding::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
 use backfi_coding::crc::{crc32_append, crc32_check, crc8_append, crc8_check};
@@ -8,43 +12,62 @@ use backfi_coding::interleaver::Interleaver;
 use backfi_coding::puncture::{puncture, CodeRate};
 use backfi_coding::scrambler::Scrambler;
 use backfi_coding::{ConvEncoder, ViterbiDecoder};
-use proptest::prelude::*;
+use backfi_dsp::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn conv_viterbi_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+fn bool_vec(rng: &mut SplitMix64, len: usize) -> Vec<bool> {
+    (0..len).map(|_| rng.next_u64() & 1 == 1).collect()
+}
+
+fn byte_vec(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+#[test]
+fn conv_viterbi_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x11_0000 + case);
+        let n_bits = 1 + rng.below(199) as usize;
+        let bits = bool_vec(&mut rng, n_bits);
         let mut enc = ConvEncoder::ieee80211();
         let coded = enc.encode_terminated(&bits);
         let dec = ViterbiDecoder::ieee80211().decode_hard_terminated(&coded);
-        prop_assert_eq!(dec, bits);
+        assert_eq!(dec, bits);
     }
+}
 
-    #[test]
-    fn conv_viterbi_corrects_any_two_spread_errors(
-        bits in proptest::collection::vec(any::<bool>(), 30..120),
-        e1 in 0usize..30, gap in 20usize..40,
-    ) {
+#[test]
+fn conv_viterbi_corrects_any_two_spread_errors() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x12_0000 + case);
+        let n_bits = 30 + rng.below(90) as usize;
+        let bits = bool_vec(&mut rng, n_bits);
+        let e1 = rng.below(30) as usize;
+        let gap = 20 + rng.below(20) as usize;
         let mut enc = ConvEncoder::ieee80211();
         let mut coded = enc.encode_terminated(&bits);
         let e2 = e1 + gap;
-        prop_assume!(e2 < coded.len());
+        if e2 >= coded.len() {
+            continue;
+        }
         coded[e1] = !coded[e1];
         coded[e2] = !coded[e2];
         let dec = ViterbiDecoder::ieee80211().decode_hard_terminated(&coded);
-        prop_assert_eq!(dec, bits);
+        assert_eq!(dec, bits);
     }
+}
 
-    #[test]
-    fn punctured_roundtrip_all_rates(
-        bits in proptest::collection::vec(any::<bool>(), 12..120),
-        rate_idx in 0usize..3,
-    ) {
-        let rate = [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rate_idx];
+#[test]
+fn punctured_roundtrip_all_rates() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x13_0000 + case);
+        let n_bits = 12 + rng.below(108) as usize;
+        let mut bits = bool_vec(&mut rng, n_bits);
+        let rate =
+            [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters][rng.below(3) as usize];
         // Align the mother stream with the puncturing period.
-        let mut bits = bits;
-        while (bits.len() + 6) * 2 % (2 * rate.k()) != 0 {
+        while !((bits.len() + 6) * 2).is_multiple_of(2 * rate.k()) {
             bits.push(false);
         }
         let mut enc = ConvEncoder::ieee80211();
@@ -52,59 +75,85 @@ proptest! {
         let tx = puncture(&mother, rate);
         let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
         let dec = ViterbiDecoder::ieee80211().decode_punctured_soft(&soft, rate, bits.len());
-        prop_assert_eq!(dec, bits);
+        assert_eq!(dec, bits);
     }
+}
 
-    #[test]
-    fn scrambler_is_involution(bits in proptest::collection::vec(any::<bool>(), 0..300),
-                               seed in 1u8..=0x7F) {
+#[test]
+fn scrambler_is_involution() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x14_0000 + case);
+        let n_bits = rng.below(300) as usize;
+        let bits = bool_vec(&mut rng, n_bits);
+        let seed = 1 + rng.below(0x7F) as u8;
         let mut a = Scrambler::new(seed);
         let s = a.process(&bits);
         let mut b = Scrambler::new(seed);
-        prop_assert_eq!(b.process(&s), bits);
+        assert_eq!(b.process(&s), bits);
     }
+}
 
-    #[test]
-    fn interleaver_is_bijective(data in proptest::collection::vec(any::<bool>(), 96..97)) {
+#[test]
+fn interleaver_is_bijective() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x15_0000 + case);
+        let data = bool_vec(&mut rng, 96);
         let il = Interleaver::new(96, 2);
         let forward = il.interleave(&data);
-        prop_assert_eq!(il.deinterleave(&forward), data);
+        assert_eq!(il.deinterleave(&forward), data);
     }
+}
 
-    #[test]
-    fn crc32_detects_any_single_byte_mutation(
-        body in proptest::collection::vec(any::<u8>(), 1..64),
-        idx in 0usize..64, flip in 1u8..=255,
-    ) {
+#[test]
+fn crc32_detects_any_single_byte_mutation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x16_0000 + case);
+        let n_body = 1 + rng.below(63) as usize;
+        let body = byte_vec(&mut rng, n_body);
         let framed = crc32_append(&body);
-        prop_assert!(crc32_check(&framed));
+        assert!(crc32_check(&framed));
         let mut bad = framed.clone();
-        let i = idx % bad.len();
+        let i = rng.below(bad.len() as u64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         bad[i] ^= flip;
-        prop_assert!(!crc32_check(&bad));
+        assert!(!crc32_check(&bad));
     }
+}
 
-    #[test]
-    fn crc8_detects_any_single_byte_mutation(
-        body in proptest::collection::vec(any::<u8>(), 1..32),
-        idx in 0usize..33, flip in 1u8..=255,
-    ) {
+#[test]
+fn crc8_detects_any_single_byte_mutation() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x17_0000 + case);
+        let n_body = 1 + rng.below(31) as usize;
+        let body = byte_vec(&mut rng, n_body);
         let framed = crc8_append(&body);
-        prop_assert!(crc8_check(&framed));
+        assert!(crc8_check(&framed));
         let mut bad = framed.clone();
-        let i = idx % bad.len();
+        let i = rng.below(bad.len() as u64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         bad[i] ^= flip;
-        prop_assert!(!crc8_check(&bad));
+        assert!(!crc8_check(&bad));
     }
+}
 
-    #[test]
-    fn bit_byte_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+#[test]
+fn bit_byte_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x18_0000 + case);
+        let n_bytes = rng.below(64) as usize;
+        let bytes = byte_vec(&mut rng, n_bytes);
+        assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
     }
+}
 
-    #[test]
-    fn soft_decisions_scale_invariant(bits in proptest::collection::vec(any::<bool>(), 10..60),
-                                      scale in 0.01f64..100.0) {
+#[test]
+fn soft_decisions_scale_invariant() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x19_0000 + case);
+        let n_bits = 10 + rng.below(50) as usize;
+        let bits = bool_vec(&mut rng, n_bits);
+        // Log-uniform scale over 0.01..100.
+        let scale = 10f64.powf(-2.0 + 4.0 * rng.next_f64());
         // Scaling all soft metrics by a positive constant must not change
         // the decoded bits (Viterbi compares path sums).
         let mut enc = ConvEncoder::ieee80211();
@@ -112,22 +161,27 @@ proptest! {
         let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
         let scaled: Vec<f64> = soft.iter().map(|v| v * scale).collect();
         let dec = ViterbiDecoder::ieee80211();
-        prop_assert_eq!(
+        assert_eq!(
             dec.decode_soft_terminated(&soft),
             dec.decode_soft_terminated(&scaled)
         );
     }
+}
 
-    #[test]
-    fn lfsr_never_reaches_zero_state(seed in 1u32..127, n in 1usize..500) {
+#[test]
+fn lfsr_never_reaches_zero_state() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x1A_0000 + case);
+        let seed = 1 + rng.below(126) as u32;
+        let n = 1 + rng.below(499) as usize;
         let mut l = backfi_coding::prbs::Lfsr::maximal(7, seed);
         // If the state ever hit zero the sequence would be all-zero from
         // there on; a maximal LFSR must keep producing both values.
         let bits = l.bits(n + 127);
         let tail = &bits[n.saturating_sub(1)..];
         if tail.len() >= 127 {
-            prop_assert!(tail.iter().any(|&b| b));
-            prop_assert!(tail.iter().any(|&b| !b));
+            assert!(tail.iter().any(|&b| b));
+            assert!(tail.iter().any(|&b| !b));
         }
     }
 }

@@ -47,7 +47,11 @@ impl PriorWifiBackscatter {
 
     /// RSSI perturbation (dB) the tag induces at a helper `d_tag_helper`
     /// metres away: the tag's scattered power against the direct AP signal.
-    pub fn rssi_delta_db(&self, budget: &backfi_chan::budget::LinkBudget, d_tag_helper: f64) -> f64 {
+    pub fn rssi_delta_db(
+        &self,
+        budget: &backfi_chan::budget::LinkBudget,
+        d_tag_helper: f64,
+    ) -> f64 {
         let direct_dbm = budget.wifi_rx_power_dbm(self.helper_ap_distance_m);
         // The tag sits near the helper; its scattering path is AP→tag→helper.
         let d_ap_tag = (self.helper_ap_distance_m - d_tag_helper).abs().max(0.1);
@@ -65,7 +69,11 @@ impl PriorWifiBackscatter {
 
     /// Uplink throughput in bit/s: one bit per packet when decodable
     /// ([27] reports ≤1 kbit/s), zero beyond range.
-    pub fn throughput_bps(&self, budget: &backfi_chan::budget::LinkBudget, d_tag_helper: f64) -> f64 {
+    pub fn throughput_bps(
+        &self,
+        budget: &backfi_chan::budget::LinkBudget,
+        d_tag_helper: f64,
+    ) -> f64 {
         if self.decodable(budget, d_tag_helper) {
             self.packets_per_second
         } else {

@@ -13,7 +13,8 @@ use backfi_dsp::{us_to_samples, Complex};
 use backfi_tag::detector::SAMPLES_PER_BIT;
 use backfi_wifi::mac::{Frame, MacAddr};
 use backfi_wifi::{Mcs, WifiTransmitter};
-use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Parameters of one excitation transmission.
 #[derive(Clone, Debug)]
@@ -59,7 +60,55 @@ pub struct Excitation {
     pub config: ExcitationConfig,
 }
 
+/// The excitation is a pure function of its config (no per-trial randomness:
+/// payload, scrambler seed and preamble are all fixed by `ExcitationConfig`),
+/// so sweeps share one synthesis per distinct config instead of re-running
+/// the scrambler → conv-code → interleave → IFFT chain for every trial.
+type ExcitationKey = (u16, Mcs, usize, u8, usize);
+
+impl ExcitationConfig {
+    fn cache_key(&self) -> ExcitationKey {
+        (
+            self.tag_id,
+            self.mcs,
+            self.wifi_payload_bytes,
+            self.scrambler_seed,
+            self.lead_in,
+        )
+    }
+}
+
+/// Keep the cache small: figure harnesses only ever use a handful of
+/// distinct excitation configs at a time.
+const CACHE_CAP: usize = 32;
+
+fn cache() -> &'static Mutex<HashMap<ExcitationKey, Arc<Excitation>>> {
+    static CACHE: OnceLock<Mutex<HashMap<ExcitationKey, Arc<Excitation>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 impl Excitation {
+    /// Build the transmission for `cfg`, sharing one synthesis per distinct
+    /// config across the process (and across sweep worker threads).
+    ///
+    /// The returned value is sample-identical to `Excitation::build(cfg)`;
+    /// only the synthesis cost is amortized.
+    pub fn cached(cfg: &ExcitationConfig) -> Arc<Excitation> {
+        let key = cfg.cache_key();
+        if let Some(hit) = cache().lock().expect("excitation cache poisoned").get(&key) {
+            return hit.clone();
+        }
+        // Build outside the lock so a long synthesis doesn't block lookups
+        // of other configs; concurrent first-builds of the same config both
+        // compute, which is deterministic and rare.
+        let built = Arc::new(Excitation::build(cfg.clone()));
+        let mut map = cache().lock().expect("excitation cache poisoned");
+        if map.len() >= CACHE_CAP {
+            map.clear();
+        }
+        map.entry(key).or_insert_with(|| built.clone()).clone()
+    }
+
     /// Build the transmission.
     pub fn build(cfg: ExcitationConfig) -> Excitation {
         let tx = WifiTransmitter::new();
@@ -71,7 +120,7 @@ impl Excitation {
             dst: MacAddr::local(100),
             src: MacAddr::local(0),
             seq: 1,
-            payload: Bytes::from(vec![0xD5u8; cfg.wifi_payload_bytes]),
+            payload: vec![0xD5u8; cfg.wifi_payload_bytes],
         };
         let wifi_psdu = data_frame.to_psdu();
         let nav_us = 16.0 + cfg.mcs.packet_airtime_us(wifi_psdu.len()) + 16.0;
@@ -82,12 +131,12 @@ impl Excitation {
         let cts_pkt = tx.transmit(&cts.to_psdu(), Mcs::Mbps6, cfg.scrambler_seed ^ 0x2A);
         samples.extend_from_slice(&cts_pkt.samples);
         // SIFS gap.
-        samples.extend(std::iter::repeat(Complex::ZERO).take(us_to_samples(16.0)));
+        samples.extend(std::iter::repeat_n(Complex::ZERO, us_to_samples(16.0)));
 
         // Align the pulse preamble to the tag's 1 µs comparator grid so bit
         // decisions land cleanly (the hardware AP does the same by design).
         let pad = (SAMPLES_PER_BIT - samples.len() % SAMPLES_PER_BIT) % SAMPLES_PER_BIT;
-        samples.extend(std::iter::repeat(Complex::ZERO).take(pad));
+        samples.extend(std::iter::repeat_n(Complex::ZERO, pad));
 
         // 16-bit wake-up/identification pulse preamble, 1 µs per bit. The
         // pulses are constant-envelope, so the PA can drive them at its peak
@@ -100,7 +149,7 @@ impl Excitation {
                     Complex::from_polar(PULSE_AMPLITUDE, 0.9 * (i * SAMPLES_PER_BIT + k) as f64)
                 }));
             } else {
-                samples.extend(std::iter::repeat(Complex::ZERO).take(SAMPLES_PER_BIT));
+                samples.extend(std::iter::repeat_n(Complex::ZERO, SAMPLES_PER_BIT));
             }
         }
         let detect_end = samples.len();
@@ -111,7 +160,13 @@ impl Excitation {
         samples.extend_from_slice(&data_pkt.samples);
         let data_span = data_start..samples.len();
 
-        Excitation { samples, detect_end, data_span, wifi_psdu, config: cfg }
+        Excitation {
+            samples,
+            detect_end,
+            data_span,
+            wifi_psdu,
+            config: cfg,
+        }
     }
 
     /// Total airtime of the transmission in µs.
@@ -141,12 +196,16 @@ mod tests {
 
     #[test]
     fn preamble_pulses_match_tag_pattern() {
-        let cfg = ExcitationConfig { tag_id: 7, ..Default::default() };
+        let cfg = ExcitationConfig {
+            tag_id: 7,
+            ..Default::default()
+        };
         let e = Excitation::build(cfg);
         let pattern = tag_preamble(7);
         let pre_start = e.detect_end - 16 * SAMPLES_PER_BIT;
         for (i, &b) in pattern.iter().enumerate() {
-            let blk = &e.samples[pre_start + i * SAMPLES_PER_BIT..pre_start + (i + 1) * SAMPLES_PER_BIT];
+            let blk =
+                &e.samples[pre_start + i * SAMPLES_PER_BIT..pre_start + (i + 1) * SAMPLES_PER_BIT];
             let p: f64 = blk.iter().map(|v| v.norm_sqr()).sum();
             if b {
                 assert!(p > 10.0, "bit {i} should be a pulse");
@@ -158,12 +217,22 @@ mod tests {
 
     #[test]
     fn data_duration_tracks_payload() {
-        let short = Excitation::build(ExcitationConfig { wifi_payload_bytes: 500, ..Default::default() });
-        let long = Excitation::build(ExcitationConfig { wifi_payload_bytes: 3900, ..Default::default() });
+        let short = Excitation::build(ExcitationConfig {
+            wifi_payload_bytes: 500,
+            ..Default::default()
+        });
+        let long = Excitation::build(ExcitationConfig {
+            wifi_payload_bytes: 3900,
+            ..Default::default()
+        });
         assert!(long.data_airtime_us() > 3.0 * short.data_airtime_us());
         // ~1 ms for the default 3000 bytes at 24 Mbit/s
         let default = Excitation::build(ExcitationConfig::default());
-        assert!((default.data_airtime_us() - 1030.0).abs() < 60.0, "{}", default.data_airtime_us());
+        assert!(
+            (default.data_airtime_us() - 1030.0).abs() < 60.0,
+            "{}",
+            default.data_airtime_us()
+        );
     }
 
     #[test]
@@ -177,9 +246,47 @@ mod tests {
     }
 
     #[test]
+    fn cached_is_sample_identical_to_fresh_build() {
+        let cfg = ExcitationConfig {
+            tag_id: 3,
+            wifi_payload_bytes: 700,
+            ..Default::default()
+        };
+        let cached = Excitation::cached(&cfg);
+        let fresh = Excitation::build(cfg.clone());
+        assert_eq!(cached.samples, fresh.samples);
+        assert_eq!(cached.detect_end, fresh.detect_end);
+        assert_eq!(cached.data_span, fresh.data_span);
+        assert_eq!(cached.wifi_psdu, fresh.wifi_psdu);
+    }
+
+    #[test]
+    fn cache_shares_one_allocation_per_config() {
+        let cfg = ExcitationConfig {
+            tag_id: 4,
+            wifi_payload_bytes: 600,
+            ..Default::default()
+        };
+        let a = Excitation::cached(&cfg);
+        let b = Excitation::cached(&cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different config must not alias.
+        let other = ExcitationConfig {
+            tag_id: 5,
+            wifi_payload_bytes: 600,
+            ..Default::default()
+        };
+        let c = Excitation::cached(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
     fn detect_end_is_microsecond_aligned() {
         for id in [1u16, 5, 9] {
-            let e = Excitation::build(ExcitationConfig { tag_id: id, ..Default::default() });
+            let e = Excitation::build(ExcitationConfig {
+                tag_id: id,
+                ..Default::default()
+            });
             assert_eq!(e.detect_end % SAMPLES_PER_BIT, 0);
         }
     }

@@ -6,9 +6,9 @@
 //! code serves quick CI checks and full reproduction runs.
 
 use crate::baseline::PriorWifiBackscatter;
-use crate::link::LinkConfig;
+use crate::link::{LinkConfig, LinkSimulator};
 use crate::network::{ClientPhyExperiment, ClientPhyResult, NetworkModel};
-use crate::sweep::{cycle_configs, max_throughput_bps, run_trials, TrialStats};
+use crate::sweep::{grid_cells, max_throughput_bps, run_grid, Executor, TrialStats};
 use crate::traces::{ApTrace, TraceModel};
 use backfi_chan::budget::LinkBudget;
 use backfi_coding::CodeRate;
@@ -89,14 +89,27 @@ pub struct Fig8Point {
 }
 
 /// Fig. 8: max throughput vs range for 32 µs and 96 µs preambles.
+///
+/// The whole (preamble × distance × config × trial) grid is one flat job
+/// list: every trial of every point runs in parallel rather than one
+/// configuration at a time.
 pub fn fig8(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<Fig8Point> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
+    let mut spans = Vec::new();
     for &preamble_us in preambles {
+        let candidates = TagConfig::all_combinations(preamble_us);
         for &distance_m in distances {
             let base = base_link(distance_m, budget);
-            let candidates = TagConfig::all_combinations(preamble_us);
-            let stats = cycle_configs(&base, &candidates, budget.trials, 1000, true);
-            let best = stats
+            spans.push((preamble_us, distance_m, cells.len(), candidates.len()));
+            cells.extend(grid_cells(&base, &candidates));
+        }
+    }
+    let stats = run_grid(&cells, budget.trials, 1000);
+    spans
+        .into_iter()
+        .map(|(preamble_us, distance_m, start, len)| {
+            let window = &stats[start..start + len];
+            let best = window
                 .iter()
                 .filter(|s| s.decoded())
                 .max_by(|a, b| {
@@ -106,47 +119,56 @@ pub fn fig8(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<
                         .unwrap()
                 })
                 .map(|s| s.config);
-            out.push(Fig8Point {
+            Fig8Point {
                 preamble_us,
                 distance_m,
-                max_throughput_bps: max_throughput_bps(&stats),
+                max_throughput_bps: max_throughput_bps(window),
                 best,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 // ------------------------------------------------------------- Figs. 9/10 --
 
 /// Fig. 9: the (throughput, min-REPB) frontier per range.
 pub fn fig9(distances: &[f64], budget: &FigureBudget) -> Vec<(f64, Vec<(f64, f64)>)> {
+    let candidates = TagConfig::all_combinations(32.0);
+    let cells: Vec<LinkConfig> = distances
+        .iter()
+        .flat_map(|&d| grid_cells(&base_link(d, budget), &candidates))
+        .collect();
+    let stats = run_grid(&cells, budget.trials, 2000);
     distances
         .iter()
-        .map(|&d| {
-            let base = base_link(d, budget);
-            let candidates = TagConfig::all_combinations(32.0);
-            let stats = cycle_configs(&base, &candidates, budget.trials, 2000, false);
-            let outcomes: Vec<_> = stats.iter().map(TrialStats::outcome).collect();
+        .enumerate()
+        .map(|(i, &d)| {
+            let window = &stats[i * candidates.len()..(i + 1) * candidates.len()];
+            let outcomes: Vec<_> = window.iter().map(TrialStats::outcome).collect();
             (d, rate_adapt::energy_frontier(&outcomes))
         })
         .collect()
 }
 
+/// Per-distance Fig. 10 row: `(distance, per-target winner)` where each entry
+/// is the cheapest configuration reaching that target and its REPB.
+pub type Fig10Row = (f64, Vec<Option<(TagConfig, f64)>>);
+
 /// Fig. 10: min REPB achieving a fixed throughput, per range. `None` entries
 /// mean the target is unreachable at that range.
-pub fn fig10(
-    distances: &[f64],
-    targets_bps: &[f64],
-    budget: &FigureBudget,
-) -> Vec<(f64, Vec<Option<(TagConfig, f64)>>)> {
+pub fn fig10(distances: &[f64], targets_bps: &[f64], budget: &FigureBudget) -> Vec<Fig10Row> {
+    let candidates = TagConfig::all_combinations(32.0);
+    let cells: Vec<LinkConfig> = distances
+        .iter()
+        .flat_map(|&d| grid_cells(&base_link(d, budget), &candidates))
+        .collect();
+    let stats = run_grid(&cells, budget.trials, 3000);
     distances
         .iter()
-        .map(|&d| {
-            let base = base_link(d, budget);
-            let candidates = TagConfig::all_combinations(32.0);
-            let stats = cycle_configs(&base, &candidates, budget.trials, 3000, false);
-            let outcomes: Vec<_> = stats.iter().map(TrialStats::outcome).collect();
+        .enumerate()
+        .map(|(i, &d)| {
+            let window = &stats[i * candidates.len()..(i + 1) * candidates.len()];
+            let outcomes: Vec<_> = window.iter().map(TrialStats::outcome).collect();
             let per_target = targets_bps
                 .iter()
                 .map(|&t| {
@@ -173,27 +195,44 @@ pub struct Fig11aPoint {
 /// Fig. 11a: SNR scatter over `locations × runs`, plus the median
 /// degradation (paper: ≈2.3 dB).
 pub fn fig11a(locations: usize, runs: usize, budget: &FigureBudget) -> (Vec<Fig11aPoint>, f64) {
+    // Random distances 0.5–3 m across "locations in the testbed".
+    let cfgs: Vec<LinkConfig> = (0..locations)
+        .map(|loc| {
+            let d = 0.5 + 2.5 * (loc as f64 * 0.37).fract();
+            let mut cfg = base_link(d, budget);
+            cfg.tag.symbol_rate_hz = 1e6;
+            cfg
+        })
+        .collect();
+    let sims: Vec<LinkSimulator> = cfgs.iter().map(|c| LinkSimulator::new(c.clone())).collect();
+    // One flat (location × run) job list; seeds stay `loc*1000 + run`.
+    let jobs: Vec<(usize, u64)> = (0..locations * runs.max(1))
+        .map(|j| {
+            (
+                j / runs.max(1),
+                ((j / runs.max(1)) * 1000 + j % runs.max(1)) as u64,
+            )
+        })
+        .collect();
+    let reports = Executor::new().run(&jobs, |_, &(loc, seed)| sims[loc].run(seed));
+
     let mut pts = Vec::new();
     let mut degradations = Vec::new();
-    for loc in 0..locations {
-        // Random distances 0.5–3 m across "locations in the testbed".
-        let d = 0.5 + 2.5 * (loc as f64 * 0.37).fract();
-        let mut cfg = base_link(d, budget);
-        cfg.tag.symbol_rate_hz = 1e6;
-        let sim = crate::link::LinkSimulator::new(cfg.clone());
-        for run in 0..runs {
-            let rep = sim.run((loc * 1000 + run) as u64);
-            if !rep.measured_snr_db.is_finite() {
-                continue;
-            }
-            // Expected symbol SNR = per-sample SNR + MRC gain over the
-            // effective samples per symbol.
-            let guard = cfg.reader.fb_taps as f64;
-            let n_eff = (cfg.tag.samples_per_symbol() as f64 - guard).max(1.0);
-            let expected_db = rep.expected_snr_db + 10.0 * n_eff.log10();
-            pts.push(Fig11aPoint { expected_db, measured_db: rep.measured_snr_db });
-            degradations.push(expected_db - rep.measured_snr_db);
+    for (&(loc, _), rep) in jobs.iter().zip(&reports) {
+        if !rep.measured_snr_db.is_finite() {
+            continue;
         }
+        // Expected symbol SNR = per-sample SNR + MRC gain over the
+        // effective samples per symbol.
+        let cfg = &cfgs[loc];
+        let guard = cfg.reader.fb_taps as f64;
+        let n_eff = (cfg.tag.samples_per_symbol() as f64 - guard).max(1.0);
+        let expected_db = rep.expected_snr_db + 10.0 * n_eff.log10();
+        pts.push(Fig11aPoint {
+            expected_db,
+            measured_db: rep.measured_snr_db,
+        });
+        degradations.push(expected_db - rep.measured_snr_db);
     }
     (pts, backfi_dsp::stats::median(&degradations))
 }
@@ -212,7 +251,8 @@ pub struct Fig11bPoint {
 /// Fig. 11b: BER vs tag symbol rate for BPSK and QPSK at rate 1/2, fixed
 /// placement — the MRC time-diversity waterfall.
 pub fn fig11b(distance_m: f64, symbol_rates: &[f64], budget: &FigureBudget) -> Vec<Fig11bPoint> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
+    let mut labels = Vec::new();
     for &m in &[TagModulation::Bpsk, TagModulation::Qpsk] {
         for &f in symbol_rates {
             let mut cfg = base_link(distance_m, budget);
@@ -222,11 +262,20 @@ pub fn fig11b(distance_m: f64, symbol_rates: &[f64], budget: &FigureBudget) -> V
                 symbol_rate_hz: f,
                 preamble_us: 32.0,
             };
-            let stats = run_trials(&cfg, budget.trials, 4000);
-            out.push(Fig11bPoint { modulation: m, symbol_rate_hz: f, ber: stats.mean_pre_fec_ber });
+            cells.push(cfg);
+            labels.push((m, f));
         }
     }
-    out
+    let stats = run_grid(&cells, budget.trials, 4000);
+    labels
+        .into_iter()
+        .zip(&stats)
+        .map(|((modulation, symbol_rate_hz), s)| Fig11bPoint {
+            modulation,
+            symbol_rate_hz,
+            ber: s.mean_pre_fec_ber,
+        })
+        .collect()
 }
 
 // --------------------------------------------------------------- Fig. 12 --
@@ -238,7 +287,7 @@ pub fn fig12a(distance_m: f64, n_traces: usize, budget: &FigureBudget) -> (Ecdf,
     // Measure the steady-state goodput at this range with the best config.
     let base = base_link(distance_m, budget);
     let candidates = TagConfig::all_combinations(32.0);
-    let stats = cycle_configs(&base, &candidates, budget.trials, 5000, true);
+    let stats = run_grid(&grid_cells(&base, &candidates), budget.trials, 5000);
     let active = stats
         .iter()
         .filter(|s| s.decoded())
@@ -271,19 +320,27 @@ pub struct Fig12bPoint {
 /// ten clients.
 pub fn fig12b(tag_distances: &[f64], budget: &FigureBudget) -> Vec<Fig12bPoint> {
     let model = NetworkModel::default();
+    let k = budget.network_configs.max(1);
+    // Flat (distance × random-configuration) job list, seeds 7000.. as before.
+    let jobs: Vec<(usize, u64)> = (0..tag_distances.len() * k)
+        .map(|j| (j / k, 7000 + (j % k) as u64))
+        .collect();
+    let results = Executor::new().run(&jobs, |_, &(di, seed)| {
+        let outcomes = model.run_config(10, 10.0, tag_distances[di], seed);
+        NetworkModel::average_throughput(&outcomes)
+    });
     tag_distances
         .iter()
-        .map(|&d| {
-            let mut off = 0.0;
-            let mut on = 0.0;
-            for seed in 0..budget.network_configs as u64 {
-                let outcomes = model.run_config(10, 10.0, d, 7000 + seed);
-                let (o, n) = NetworkModel::average_throughput(&outcomes);
-                off += o;
-                on += n;
+        .enumerate()
+        .map(|(di, &d)| {
+            let window = &results[di * k..(di + 1) * k];
+            let off: f64 = window.iter().map(|(o, _)| o).sum();
+            let on: f64 = window.iter().map(|(_, n)| n).sum();
+            Fig12bPoint {
+                tag_distance_m: d,
+                off_mbps: off / k as f64,
+                on_mbps: on / k as f64,
             }
-            let k = budget.network_configs.max(1) as f64;
-            Fig12bPoint { tag_distance_m: d, off_mbps: off / k, on_mbps: on / k }
         })
         .collect()
 }
@@ -297,11 +354,9 @@ pub fn fig13(rates: &[Mcs], budget: &FigureBudget) -> Vec<ClientPhyResult> {
         tag_distance_m: 0.25,
         tag_cfg: crate::network::fig13_tag_config(),
     };
-    rates
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| exp.run(m, budget.client_packets, 400, 9000 + i as u64))
-        .collect()
+    Executor::new().run(rates, |i, &m| {
+        exp.run(m, budget.client_packets, 400, 9000 + i as u64)
+    })
 }
 
 // -------------------------------------------------------------- headline --

@@ -73,14 +73,29 @@ pub struct LinkReport {
 }
 
 /// The composed simulator.
+///
+/// Construction is the expensive part: the WiFi excitation (scrambler →
+/// conv-code → interleave → IFFT) is synthesized once here — via the
+/// process-wide [`Excitation::cached`] store — and shared immutably by every
+/// [`LinkSimulator::run`] call. `run(seed)` itself is pure per-trial work
+/// (`&self`, seed-derived state only), so one simulator can serve many sweep
+/// worker threads concurrently.
+#[derive(Clone)]
 pub struct LinkSimulator {
     cfg: LinkConfig,
+    exc: std::sync::Arc<Excitation>,
+    /// Excitation pre-scaled to the budget's TX amplitude (the canceller's
+    /// clean reference), computed once per simulator instead of per trial.
+    x_scaled: std::sync::Arc<Vec<Complex>>,
 }
 
 impl LinkSimulator {
     /// Create a simulator for the given configuration.
     pub fn new(cfg: LinkConfig) -> Self {
-        LinkSimulator { cfg }
+        let exc = Excitation::cached(&cfg.excitation);
+        let a = cfg.budget.tx_power().sqrt();
+        let x_scaled = std::sync::Arc::new(exc.samples.iter().map(|&v| v * a).collect());
+        LinkSimulator { cfg, exc, x_scaled }
     }
 
     /// The configuration in use.
@@ -88,13 +103,17 @@ impl LinkSimulator {
         &self.cfg
     }
 
+    /// The shared excitation this simulator replays every trial.
+    pub fn excitation(&self) -> &Excitation {
+        &self.exc
+    }
+
     /// Run one exchange with the given channel/noise/payload seed.
     pub fn run(&self, seed: u64) -> LinkReport {
         let cfg = &self.cfg;
         // --- AP transmission -------------------------------------------
-        let exc = Excitation::build(cfg.excitation.clone());
-        let a = cfg.budget.tx_power().sqrt();
-        let x_scaled: Vec<Complex> = exc.samples.iter().map(|&v| v * a).collect();
+        let exc = &*self.exc;
+        let x_scaled: &[Complex] = &self.x_scaled;
 
         // --- medium and tag ----------------------------------------------
         let mut medium =
@@ -122,7 +141,7 @@ impl LinkSimulator {
 
         let mut tag = Tag::new(cfg.excitation.tag_id, cfg.tag);
         tag.load_data(&sent);
-        let incident = backfi_dsp::fir::filter(&medium.h_f, &x_scaled);
+        let incident = backfi_dsp::fir::filter(&medium.h_f, x_scaled);
         let gamma = tag.react(&incident);
 
         let energy_bits = (sent.len() * 8) as f64;
@@ -150,7 +169,7 @@ impl LinkSimulator {
         // --- reader -------------------------------------------------------
         let timeline = Timeline::nominal(exc.detect_end, exc.samples.len(), &cfg.tag);
         let reader = BackscatterReader::new(cfg.reader);
-        match reader.decode(&x_scaled, y, &medium.h_env, &timeline, &cfg.tag) {
+        match reader.decode(x_scaled, y, &medium.h_env, &timeline, &cfg.tag) {
             Ok(res) => {
                 let frame_success = res.payload.as_ref().map(|p| p == &sent).unwrap_or(false);
                 let ber = backfi_reader::decode::frame_ber(&res.decoded_bits, &sent);
@@ -187,15 +206,15 @@ impl LinkSimulator {
                     // occupied (protocol overhead + symbols); fast
                     // configurations finish early and the link could start
                     // the next frame.
-                    let frame_us = TagFrame::symbol_count(sent.len(), &cfg.tag) as f64
-                        * 1e6
+                    let frame_us = TagFrame::symbol_count(sent.len(), &cfg.tag) as f64 * 1e6
                         / cfg.tag.symbol_rate_hz;
                     let overhead_us = 16.0 + 16.0 + cfg.tag.preamble_us;
                     energy_bits / ((frame_us + overhead_us) * 1e-6)
                 } else if success {
                     // Streaming regime: steady-state throughput over the
                     // usable payload window.
-                    cfg.tag.throughput_bps() * (raw_bits as f64 / cfg.tag.modulation.bits_per_symbol() as f64)
+                    cfg.tag.throughput_bps()
+                        * (raw_bits as f64 / cfg.tag.modulation.bits_per_symbol() as f64)
                         * cfg.tag.samples_per_symbol() as f64
                         / exc.samples.len() as f64
                 } else {

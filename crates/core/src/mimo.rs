@@ -17,13 +17,12 @@ use backfi_chan::environment::EnvironmentProfile;
 use backfi_chan::multipath::scaled;
 use backfi_dsp::fir::filter;
 use backfi_dsp::noise::{add_noise, cgauss_vec};
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
 use backfi_reader::reader::BackscatterReader;
 use backfi_reader::Timeline;
 use backfi_tag::framer::TagFrame;
 use backfi_tag::Tag;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Outcome of one multi-antenna exchange.
 #[derive(Clone, Debug)]
@@ -56,7 +55,7 @@ impl MimoLinkSimulator {
         let a = cfg.budget.tx_power().sqrt();
         let xs: Vec<Complex> = exc.samples.iter().map(|&v| v * a).collect();
 
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
 
         // Shared forward channel (one TX antenna), split two-way gain.
         let leg_amp = cfg.budget.backscatter_amplitude(cfg.distance_m).sqrt();
@@ -121,7 +120,11 @@ impl MimoLinkSimulator {
                 snr_db: res.metrics.symbol_snr_db,
                 antennas: self.n_antennas,
             },
-            Err(_) => MimoReport { success: false, snr_db: f64::NEG_INFINITY, antennas: 0 },
+            Err(_) => MimoReport {
+                success: false,
+                snr_db: f64::NEG_INFINITY,
+                antennas: 0,
+            },
         }
     }
 }
@@ -176,6 +179,9 @@ mod tests {
                 four += 1;
             }
         }
-        assert!(four > one, "4-antenna ({four}/4) should beat 1-antenna ({one}/4)");
+        assert!(
+            four > one,
+            "4-antenna ({four}/4) should beat 1-antenna ({one}/4)"
+        );
     }
 }

@@ -39,7 +39,12 @@ pub struct PollOutcome {
 /// Poll each node in round-robin order, one excitation per node; optionally
 /// force every tag to answer every excitation (`collide = true`) to
 /// demonstrate the collision failure mode.
-pub fn round_robin(base: &LinkConfig, nodes: &[TagNode], seed: u64, collide: bool) -> Vec<PollOutcome> {
+pub fn round_robin(
+    base: &LinkConfig,
+    nodes: &[TagNode],
+    seed: u64,
+    collide: bool,
+) -> Vec<PollOutcome> {
     let mut outcomes = Vec::new();
     for (slot, node) in nodes.iter().enumerate() {
         let exc = crate::excitation::Excitation::build(ExcitationConfig {
@@ -61,10 +66,7 @@ pub fn round_robin(base: &LinkConfig, nodes: &[TagNode], seed: u64, collide: boo
             );
             let airtime = backfi_dsp::samples_to_us(exc.samples.len() - exc.detect_end);
             let len = TagFrame::max_payload_bytes(&base.tag, airtime).clamp(1, 64);
-            let mut tag = Tag::new(
-                if collide { node.id } else { other.id },
-                base.tag,
-            );
+            let mut tag = Tag::new(if collide { node.id } else { other.id }, base.tag);
             let payload: Vec<u8> = other.payload.iter().cycle().take(len).copied().collect();
             tag.load_data(&payload);
             let incident = filter(&medium.h_f, &xs);
@@ -104,7 +106,10 @@ pub fn round_robin(base: &LinkConfig, nodes: &[TagNode], seed: u64, collide: boo
             .decode(&xs, &y[..xs.len()], &h_env, &timeline, &base.tag)
             .map(|r| r.payload.as_ref() == Ok(expected))
             .unwrap_or(false);
-        outcomes.push(PollOutcome { tag_id: node.id, success });
+        outcomes.push(PollOutcome {
+            tag_id: node.id,
+            success,
+        });
     }
     outcomes
 }
@@ -117,9 +122,21 @@ mod tests {
         let mut base = LinkConfig::at_distance(1.0);
         base.excitation.wifi_payload_bytes = 1200;
         let nodes = vec![
-            TagNode { id: 1, distance_m: 0.8, payload: vec![0x11; 32] },
-            TagNode { id: 2, distance_m: 1.2, payload: vec![0x22; 32] },
-            TagNode { id: 3, distance_m: 1.6, payload: vec![0x33; 32] },
+            TagNode {
+                id: 1,
+                distance_m: 0.8,
+                payload: vec![0x11; 32],
+            },
+            TagNode {
+                id: 2,
+                distance_m: 1.2,
+                payload: vec![0x22; 32],
+            },
+            TagNode {
+                id: 3,
+                distance_m: 1.6,
+                payload: vec![0x33; 32],
+            },
         ];
         (base, nodes)
     }

@@ -13,12 +13,12 @@
 use backfi_chan::budget::{dbm_to_lin, LinkBudget};
 use backfi_chan::multipath::MultipathProfile;
 use backfi_dsp::noise::{add_noise, gauss};
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::{stats, Complex};
 use backfi_tag::config::TagConfig;
 use backfi_tag::framer::TagFrame;
 use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+// rng trait methods are inherent on SplitMix64
 
 /// Pick the fastest MCS whose SNR requirement is met (with `margin_db` of
 /// headroom), or `None` when even 6 Mbit/s won't work.
@@ -42,7 +42,11 @@ pub struct NetworkModel {
 
 impl Default for NetworkModel {
     fn default() -> Self {
-        NetworkModel { budget: LinkBudget::default(), shadowing_db: 6.0, margin_db: 1.0 }
+        NetworkModel {
+            budget: LinkBudget::default(),
+            shadowing_db: 6.0,
+            margin_db: 1.0,
+        }
     }
 }
 
@@ -72,13 +76,13 @@ impl NetworkModel {
         tag_distance_m: f64,
         seed: u64,
     ) -> Vec<ClientOutcome> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let noise = self.budget.noise_power();
         (0..n_clients)
             .map(|_| {
                 // Uniform in the disc (area-uniform radius), at least 1 m out.
-                let d: f64 = (radius_m * rng.gen::<f64>().sqrt()).max(1.0);
-                let angle = rng.gen::<f64>() * std::f64::consts::TAU;
+                let d: f64 = (radius_m * rng.next_f64().sqrt()).max(1.0);
+                let angle = rng.next_f64() * std::f64::consts::TAU;
                 let shadow = self.shadowing_db * gauss(&mut rng);
                 let snr_db = self.budget.wifi_snr_db(d) - shadow.abs();
 
@@ -148,19 +152,26 @@ impl ClientPhyExperiment {
     pub fn distance_for(&self, mcs: Mcs, margin_db: f64) -> f64 {
         let target = mcs.required_snr_db() + margin_db;
         let pl = self.budget.tx_power_dbm - self.budget.noise_floor_dbm - target;
-        10f64.powf((pl - self.budget.wifi_pathloss_1m_db) / (10.0 * self.budget.wifi_exponent))
+        10f64
+            .powf((pl - self.budget.wifi_pathloss_1m_db) / (10.0 * self.budget.wifi_exponent))
             .max(1.0)
     }
 
     /// Run `packets` packets at `mcs` and measure success with the tag off
     /// and on.
-    pub fn run(&self, mcs: Mcs, packets: usize, payload_bytes: usize, seed: u64) -> ClientPhyResult {
+    pub fn run(
+        &self,
+        mcs: Mcs,
+        packets: usize,
+        payload_bytes: usize,
+        seed: u64,
+    ) -> ClientPhyResult {
         let client_distance_m = self.distance_for(mcs, 3.0);
         let d_tc = (client_distance_m - self.tag_distance_m).abs().max(0.1);
 
         let tx = WifiTransmitter::new();
         let rx = WifiReceiver::default();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
 
         let mut ok_off = 0usize;
         let mut ok_on = 0usize;
@@ -175,7 +186,7 @@ impl ClientPhyExperiment {
 
         for p in 0..packets {
             let psdu: Vec<u8> = (0..payload_bytes).map(|i| (i + p) as u8).collect();
-            let pkt = tx.transmit(&psdu, mcs, 0x30 + (p as u8 & 0x3F) | 1);
+            let pkt = tx.transmit(&psdu, mcs, (0x30 + (p as u8 & 0x3F)) | 1);
 
             // Client channel: short multipath.
             let h_c = backfi_chan::multipath::scaled(
@@ -202,9 +213,7 @@ impl ClientPhyExperiment {
                         .enumerate()
                         .map(|(i, &v)| {
                             let idx = ((i / sps) * 7 + 3) % order;
-                            v * Complex::exp_j(
-                                std::f64::consts::TAU * idx as f64 / order as f64,
-                            )
+                            v * Complex::exp_j(std::f64::consts::TAU * idx as f64 / order as f64)
                         })
                         .collect();
                     let scattered = backfi_dsp::fir::filter(&h_tc, &modded);
@@ -243,7 +252,10 @@ impl ClientPhyExperiment {
 /// Convenience: the tag configuration the Fig. 13 experiment uses (fast
 /// QPSK so the interference is as wideband as possible).
 pub fn fig13_tag_config() -> TagConfig {
-    TagConfig { symbol_rate_hz: 2.5e6, ..TagConfig::default() }
+    TagConfig {
+        symbol_rate_hz: 2.5e6,
+        ..TagConfig::default()
+    }
 }
 
 /// Check a tag frame fits the interference window (helper for tests).

@@ -2,13 +2,21 @@
 //!
 //! "For each distance, we cycle the IoT sensor through all combinations of
 //! symbol switching rates and modulations, and then calculate throughput for
-//! combinations that can be decoded at the reader." Sweeps parallelize over
-//! trials with crossbeam scoped threads (on a single-core host they simply
-//! run sequentially).
+//! combinations that can be decoded at the reader."
+//!
+//! Sweeps run on [`Executor`], a work-stealing pool of `std::thread::scope`
+//! workers that fans out over a **flat job list** — every (cell × trial) of a
+//! grid at once, not just the trials of one configuration. Each job's seed is
+//! a pure function of `(seed0, job index)` via [`SplitMix64::derive`], so
+//! results are bit-identical for any worker count (on a single-core host the
+//! jobs simply run sequentially).
 
-use crate::link::{LinkConfig, LinkSimulator};
+use crate::link::{LinkConfig, LinkReport, LinkSimulator};
+use backfi_dsp::rng::SplitMix64;
 use backfi_reader::rate_adapt::TrialOutcome;
 use backfi_tag::config::TagConfig;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Aggregate outcome of several trials of one configuration.
 #[derive(Clone, Debug)]
@@ -42,64 +50,218 @@ impl TrialStats {
             symbol_snr_db: self.mean_snr_db,
         }
     }
+
+    /// Fold per-trial reports into the aggregate the figures consume.
+    pub fn aggregate(config: TagConfig, reports: &[LinkReport]) -> TrialStats {
+        let n = reports.len().max(1) as f64;
+        let successes = reports.iter().filter(|r| r.success).count();
+        let snrs: Vec<f64> = reports
+            .iter()
+            .filter(|r| r.measured_snr_db.is_finite())
+            .map(|r| r.measured_snr_db)
+            .collect();
+        TrialStats {
+            config,
+            success_rate: successes as f64 / n,
+            mean_snr_db: backfi_dsp::stats::mean(&snrs),
+            mean_ber: reports.iter().map(|r| r.ber).sum::<f64>() / n,
+            mean_pre_fec_ber: reports.iter().map(|r| r.pre_fec_ber).sum::<f64>() / n,
+            mean_goodput_bps: reports.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
+        }
+    }
 }
+
+// ------------------------------------------------------------- executor ---
+
+/// Process-wide sweep counters, so harness binaries can report trials/sec
+/// without threading a metrics handle through every figure function.
+static JOBS_RUN: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide sweep counters: `(jobs, busy_seconds)`.
+///
+/// `jobs` counts link trials executed by [`Executor`] since process start;
+/// `busy_seconds` is the summed wall time of the executor passes that ran
+/// them (not per-worker CPU time). Diff two snapshots around a figure
+/// computation to report its trials/sec.
+pub fn metrics_snapshot() -> (u64, f64) {
+    (
+        JOBS_RUN.load(Ordering::Relaxed),
+        BUSY_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+    )
+}
+
+/// A work-stealing executor over flat job lists.
+///
+/// Workers are `std::thread::scope` threads pulling job indices from a shared
+/// atomic counter, so long jobs (near distances that decode and run the full
+/// Viterbi chain) don't stall a statically chunked partner. Results are
+/// reassembled in job order, and job seeds come from the caller as pure
+/// functions of the job index — output is therefore independent of both the
+/// thread count and the steal schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// An executor sized to the host (`available_parallelism`).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Executor { threads }
+    }
+
+    /// An executor with an explicit worker count (mainly for determinism
+    /// tests; `0` is clamped to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this executor fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `items`, in parallel, preserving order.
+    ///
+    /// `f` receives `(job_index, &item)`; derive any per-job randomness from
+    /// the index (e.g. [`SplitMix64::derive`]) — never from thread identity.
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let n = items.len();
+        let t0 = Instant::now();
+        let threads = self.threads.min(n.max(1));
+        let out = if threads <= 1 {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let shards: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, f(i, &items[i])));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker panicked"))
+                    .collect()
+            });
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for shard in shards {
+                for (i, v) in shard {
+                    slots[i] = Some(v);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every job index filled"))
+                .collect()
+        };
+        JOBS_RUN.fetch_add(n as u64, Ordering::Relaxed);
+        BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+}
+
+// ----------------------------------------------------------------- grids ---
+
+/// Evaluate every cell of a sweep grid, `trials` exchanges each, fanning the
+/// **whole** (cell × trial) job list across the executor at once.
+///
+/// Cell `c`, trial `t` runs with seed `SplitMix64::derive(seed0, c*trials+t)`
+/// — a pure function of grid position, so the returned stats are identical
+/// for any worker count. Returns one [`TrialStats`] per cell, in order.
+pub fn run_grid(cells: &[LinkConfig], trials: usize, seed0: u64) -> Vec<TrialStats> {
+    run_grid_on(&Executor::new(), cells, trials, seed0)
+}
+
+/// [`run_grid`] on a caller-supplied executor (determinism tests pin the
+/// worker count through this).
+pub fn run_grid_on(
+    exec: &Executor,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+) -> Vec<TrialStats> {
+    // Build one simulator per cell up front: excitation synthesis is cached
+    // and shared, and `run` takes `&self`, so workers share them freely.
+    let sims: Vec<LinkSimulator> = cells
+        .iter()
+        .map(|c| LinkSimulator::new(c.clone()))
+        .collect();
+    let jobs: Vec<(usize, u64)> = (0..cells.len() * trials.max(1))
+        .map(|j| (j / trials.max(1), SplitMix64::derive(seed0, j as u64)))
+        .collect();
+    let reports = exec.run(&jobs, |_, &(cell, seed)| sims[cell].run(seed));
+    reports
+        .chunks(trials.max(1))
+        .zip(cells)
+        .map(|(chunk, cell)| TrialStats::aggregate(cell.tag, chunk))
+        .collect()
+}
+
+/// Expand `(base distance-config) × candidates` into grid cells: one
+/// [`LinkConfig`] per candidate tag configuration.
+pub fn grid_cells(base: &LinkConfig, candidates: &[TagConfig]) -> Vec<LinkConfig> {
+    candidates
+        .iter()
+        .map(|&tag| {
+            let mut cfg = base.clone();
+            cfg.tag = tag;
+            cfg
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- trials ---
 
 /// Run `trials` exchanges of one configuration (seeds `seed0..seed0+trials`),
 /// in parallel across available cores.
 pub fn run_trials(cfg: &LinkConfig, trials: usize, seed0: u64) -> TrialStats {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
-    let seeds: Vec<u64> = (0..trials as u64).map(|i| seed0 + i).collect();
-    let mut reports = Vec::with_capacity(trials);
-    if threads <= 1 {
-        let sim = LinkSimulator::new(cfg.clone());
-        for &s in &seeds {
-            reports.push(sim.run(s));
-        }
-    } else {
-        let chunks: Vec<&[u64]> = seeds.chunks(seeds.len().div_ceil(threads)).collect();
-        let results: Vec<Vec<crate::link::LinkReport>> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let cfg = cfg.clone();
-                    scope.spawn(move |_| {
-                        let sim = LinkSimulator::new(cfg);
-                        chunk.iter().map(|&s| sim.run(s)).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("sweep threads panicked");
-        for mut r in results {
-            reports.append(&mut r);
-        }
-    }
+    run_trials_on(&Executor::new(), cfg, trials, seed0)
+}
 
-    let n = reports.len().max(1) as f64;
-    let successes = reports.iter().filter(|r| r.success).count();
-    let snrs: Vec<f64> = reports
-        .iter()
-        .filter(|r| r.measured_snr_db.is_finite())
-        .map(|r| r.measured_snr_db)
-        .collect();
-    TrialStats {
-        config: cfg.tag,
-        success_rate: successes as f64 / n,
-        mean_snr_db: backfi_dsp::stats::mean(&snrs),
-        mean_ber: reports.iter().map(|r| r.ber).sum::<f64>() / n,
-        mean_pre_fec_ber: reports.iter().map(|r| r.pre_fec_ber).sum::<f64>() / n,
-        mean_goodput_bps: reports.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
-    }
+/// [`run_trials`] on a caller-supplied executor.
+pub fn run_trials_on(exec: &Executor, cfg: &LinkConfig, trials: usize, seed0: u64) -> TrialStats {
+    let sim = LinkSimulator::new(cfg.clone());
+    let seeds: Vec<u64> = (0..trials as u64).map(|i| seed0 + i).collect();
+    let reports = exec.run(&seeds, |_, &s| sim.run(s));
+    TrialStats::aggregate(cfg.tag, &reports)
 }
 
 /// Cycle through candidate tag configurations at one distance, most
 /// aggressive first, and report per-config stats. With `early_exit`, stops
 /// evaluating slower configurations once one decodes *and* every remaining
-/// candidate has lower throughput (the Fig. 8 frontier only needs the max).
+/// candidate has lower throughput (the Fig. 8 frontier only needs the max);
+/// without it, the whole candidate grid is evaluated in one parallel pass.
 pub fn cycle_configs(
     base: &LinkConfig,
     candidates: &[TagConfig],
@@ -111,14 +273,16 @@ pub fn cycle_configs(
     let mut sorted = candidates.to_vec();
     sorted.sort_by(|a, b| b.throughput_bps().partial_cmp(&a.throughput_bps()).unwrap());
 
+    if !early_exit {
+        return run_grid(&grid_cells(base, &sorted), trials, seed0);
+    }
+
     let mut out = Vec::new();
     let mut best_decoded: Option<f64> = None;
     for tag in sorted {
-        if early_exit {
-            if let Some(t) = best_decoded {
-                if tag.throughput_bps() < t {
-                    break;
-                }
+        if let Some(t) = best_decoded {
+            if tag.throughput_bps() < t {
+                break;
             }
         }
         let mut cfg = base.clone();
@@ -183,5 +347,75 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert!(stats[0].decoded());
         assert!(max_throughput_bps(&stats) > 9e5);
+    }
+
+    #[test]
+    fn run_trials_identical_across_worker_counts() {
+        let cfg = base(1.0);
+        let one = run_trials_on(&Executor::with_threads(1), &cfg, 4, 50);
+        let many = run_trials_on(&Executor::with_threads(8), &cfg, 4, 50);
+        assert_eq!(one.success_rate.to_bits(), many.success_rate.to_bits());
+        assert_eq!(one.mean_snr_db.to_bits(), many.mean_snr_db.to_bits());
+        assert_eq!(one.mean_ber.to_bits(), many.mean_ber.to_bits());
+        assert_eq!(
+            one.mean_pre_fec_ber.to_bits(),
+            many.mean_pre_fec_ber.to_bits()
+        );
+        assert_eq!(
+            one.mean_goodput_bps.to_bits(),
+            many.mean_goodput_bps.to_bits()
+        );
+    }
+
+    #[test]
+    fn grid_identical_across_worker_counts() {
+        let candidates = vec![
+            TagConfig::default(),
+            TagConfig {
+                modulation: TagModulation::Bpsk,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: 500e3,
+                preamble_us: 32.0,
+            },
+        ];
+        let cells: Vec<LinkConfig> = [0.5, 2.0]
+            .iter()
+            .flat_map(|&d| grid_cells(&base(d), &candidates))
+            .collect();
+        let a = run_grid_on(&Executor::with_threads(1), &cells, 3, 99);
+        let b = run_grid_on(&Executor::with_threads(7), &cells, 3, 99);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.config, y.config);
+            assert_eq!(x.success_rate.to_bits(), y.success_rate.to_bits());
+            assert_eq!(x.mean_snr_db.to_bits(), y.mean_snr_db.to_bits());
+            assert_eq!(x.mean_goodput_bps.to_bits(), y.mean_goodput_bps.to_bits());
+        }
+    }
+
+    #[test]
+    fn executor_preserves_job_order() {
+        let items: Vec<usize> = (0..101).collect();
+        let out = Executor::with_threads(5).run(&items, |i, &v| {
+            assert_eq!(i, v);
+            v * 2
+        });
+        assert_eq!(out, (0..101).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn executor_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(Executor::new().run(&empty, |_, &v| v).is_empty());
+        assert_eq!(Executor::new().run(&[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn metrics_count_jobs() {
+        let (jobs0, _) = metrics_snapshot();
+        let items: Vec<u64> = (0..10).collect();
+        Executor::with_threads(2).run(&items, |_, &v| v);
+        let (jobs1, _) = metrics_snapshot();
+        assert!(jobs1 >= jobs0 + 10);
     }
 }

@@ -8,8 +8,8 @@
 //! loaded hotspots: AP airtime shares of roughly 0.55–0.95 with bursty
 //! packet trains — the only statistics the experiment actually consumes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use backfi_dsp::rng::SplitMix64;
+// rng trait methods are inherent on SplitMix64
 
 /// One AP transmission in a trace.
 #[derive(Clone, Copy, Debug)]
@@ -57,27 +57,31 @@ impl ApTrace {
     /// Generate a trace of `total_us` using the burst model. Different seeds
     /// give APs with different loads (idle gaps scale with a per-AP factor).
     pub fn generate(model: &TraceModel, total_us: f64, seed: u64) -> ApTrace {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         // Per-AP load factor: scales the idle time 0.25×–3×.
-        let load_factor = 0.25 + rng.gen::<f64>() * 2.75;
+        let load_factor = 0.25 + rng.next_f64() * 2.75;
         let mut entries = Vec::new();
-        let mut t = rng.gen::<f64>() * model.mean_idle_us;
+        let mut t = rng.next_f64() * model.mean_idle_us;
         while t < total_us {
             // Geometric burst length ≥ 1.
-            let burst = 1 + (-rng.gen::<f64>().max(1e-12).ln() * (model.mean_burst_packets - 1.0))
-                .round() as usize;
+            let burst = 1
+                + (-rng.next_f64().max(1e-12).ln() * (model.mean_burst_packets - 1.0)).round()
+                    as usize;
             for _ in 0..burst {
                 if t >= total_us {
                     break;
                 }
-                let dur = model.packet_us.0
-                    + rng.gen::<f64>() * (model.packet_us.1 - model.packet_us.0);
+                let dur =
+                    model.packet_us.0 + rng.next_f64() * (model.packet_us.1 - model.packet_us.0);
                 let dur = dur.min(total_us - t);
-                entries.push(TraceEntry { start_us: t, duration_us: dur });
+                entries.push(TraceEntry {
+                    start_us: t,
+                    duration_us: dur,
+                });
                 t += dur + model.intra_gap_us;
             }
             // Exponential idle gap.
-            t += -rng.gen::<f64>().max(1e-12).ln() * model.mean_idle_us * load_factor;
+            t += -rng.next_f64().max(1e-12).ln() * model.mean_idle_us * load_factor;
         }
         ApTrace { entries, total_us }
     }

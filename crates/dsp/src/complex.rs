@@ -167,6 +167,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -359,7 +360,7 @@ mod tests {
 
     #[test]
     fn sum_iterator() {
-        let v = vec![Complex::ONE; 10];
+        let v = [Complex::ONE; 10];
         let s: Complex = v.iter().sum();
         assert!(close(s, Complex::real(10.0)));
     }

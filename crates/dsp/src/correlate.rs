@@ -15,7 +15,10 @@ use crate::Complex;
 /// Panics if `template` is empty or longer than `x`.
 pub fn xcorr(x: &[Complex], template: &[Complex]) -> Vec<Complex> {
     assert!(!template.is_empty(), "xcorr: empty template");
-    assert!(template.len() <= x.len(), "xcorr: template longer than signal");
+    assert!(
+        template.len() <= x.len(),
+        "xcorr: template longer than signal"
+    );
     let lags = x.len() - template.len() + 1;
     let mut out = Vec::with_capacity(lags);
     for k in 0..lags {
@@ -128,9 +131,7 @@ mod tests {
 
     #[test]
     fn xcorr_finds_embedded_template() {
-        let template: Vec<Complex> = (0..8)
-            .map(|i| Complex::exp_j(i as f64 * 1.3))
-            .collect();
+        let template: Vec<Complex> = (0..8).map(|i| Complex::exp_j(i as f64 * 1.3)).collect();
         let mut x = vec![Complex::ZERO; 50];
         let offset = 17;
         for (i, &t) in template.iter().enumerate() {
@@ -170,7 +171,7 @@ mod tests {
         for _ in 0..4 {
             x.extend_from_slice(&base);
         }
-        x.extend(std::iter::repeat(Complex::ZERO).take(32));
+        x.extend(std::iter::repeat_n(Complex::ZERO, 32));
         let (p, e) = autocorr_metric(&x, 16, 16);
         // at k=0 the window and its d-shift are identical -> |p| == e
         assert!((p[0].abs() - e[0]).abs() < 1e-9);

@@ -29,7 +29,10 @@ impl FftPlan {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let twiddles = (0..n / 2)
             .map(|k| Complex::exp_j(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
@@ -37,7 +40,11 @@ impl FftPlan {
         let bitrev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
             .collect();
-        FftPlan { n, twiddles, bitrev }
+        FftPlan {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// Transform size.
@@ -156,14 +163,18 @@ pub fn ifftshift<T: Copy>(x: &[T]) -> Vec<T> {
 /// # Panics
 /// Panics if lengths differ or are not a power of two.
 pub fn circular_convolve(a: &[Complex], b: &[Complex]) -> Vec<Complex> {
-    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "circular convolution requires equal lengths"
+    );
     let plan = FftPlan::new(a.len());
     let mut fa = a.to_vec();
     let mut fb = b.to_vec();
     plan.forward(&mut fa);
     plan.forward(&mut fb);
     for (x, y) in fa.iter_mut().zip(&fb) {
-        *x = *x * *y;
+        *x *= *y;
     }
     plan.inverse(&mut fa);
     fa
@@ -227,7 +238,9 @@ mod tests {
 
     #[test]
     fn linearity() {
-        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let a: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let b: Vec<Complex> = (0..16).map(|i| Complex::new(1.0, i as f64 * 0.5)).collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a);

@@ -160,7 +160,8 @@ pub fn lowpass_taps(ntaps: usize, cutoff: f64) -> Vec<Complex> {
             };
             // Hamming window
             let w = 0.54
-                - 0.46 * (2.0 * std::f64::consts::PI * i as f64 / (ntaps as f64 - 1.0).max(1.0)).cos();
+                - 0.46
+                    * (2.0 * std::f64::consts::PI * i as f64 / (ntaps as f64 - 1.0).max(1.0)).cos();
             sinc * w
         })
         .collect();
@@ -209,7 +210,9 @@ mod tests {
 
     #[test]
     fn identity_impulse() {
-        let x: Vec<Complex> = (0..20).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..20)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let h = [Complex::ONE];
         assert_eq!(filter(&h, &x), x);
     }
@@ -227,8 +230,12 @@ mod tests {
 
     #[test]
     fn filter_matches_truncated_convolution() {
-        let x: Vec<Complex> = (0..30).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
-        let h: Vec<Complex> = (0..4).map(|i| Complex::new(0.5f64.powi(i), 0.1 * i as f64)).collect();
+        let x: Vec<Complex> = (0..30)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let h: Vec<Complex> = (0..4)
+            .map(|i| Complex::new(0.5f64.powi(i), 0.1 * i as f64))
+            .collect();
         let full = convolve(&x, &h, ConvMode::Full);
         let y = filter(&h, &x);
         for i in 0..x.len() {
@@ -238,7 +245,9 @@ mod tests {
 
     #[test]
     fn streaming_matches_block() {
-        let x: Vec<Complex> = (0..50).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.2)).collect();
+        let x: Vec<Complex> = (0..50)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.2))
+            .collect();
         let h: Vec<Complex> = vec![c(0.5), c(-0.25), Complex::new(0.0, 0.125)];
         let block = filter(&h, &x);
         let mut f = FirFilter::new(h);

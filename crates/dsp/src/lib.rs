@@ -14,11 +14,12 @@
 //! * [`window`] — window functions,
 //! * [`stats`] — power/SNR/EVM measurement and dB conversions,
 //! * [`noise`] — deterministic complex Gaussian noise generation,
+//! * [`rng`] — the seedable SplitMix64 generator behind all randomness,
 //! * [`resample`] — integer-factor rate conversion,
 //! * [`spectrum`] — Welch PSD estimation (waveform sanity checks).
 //!
 //! Everything is `f64`: the simulation favours numerical fidelity over
-//! throughput, and the criterion benches show the pipelines are still fast
+//! throughput, and the wall-clock benches show the pipelines are still fast
 //! enough to sweep the paper's full parameter space.
 
 #![deny(missing_docs)]
@@ -30,6 +31,7 @@ pub mod fft;
 pub mod fir;
 pub mod noise;
 pub mod resample;
+pub mod rng;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

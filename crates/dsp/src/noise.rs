@@ -1,11 +1,11 @@
 //! Deterministic complex Gaussian noise.
 //!
 //! Every stochastic element of the simulator (thermal noise, multipath tap
-//! realizations, payload bits) is driven by seeded `rand` RNGs so that every
-//! figure in EXPERIMENTS.md is exactly reproducible.
+//! realizations, payload bits) is driven by seeded [`crate::rng`] generators
+//! so that every figure in EXPERIMENTS.md is exactly reproducible.
 
+use crate::rng::Rng;
 use crate::Complex;
-use rand::Rng;
 
 /// Draw one circularly-symmetric complex Gaussian sample with total variance
 /// `var` (i.e. `var/2` per real component).
@@ -15,13 +15,13 @@ pub fn cgauss<R: Rng + ?Sized>(rng: &mut R, var: f64) -> Complex {
     Complex::new(s * gauss(rng), s * gauss(rng))
 }
 
-/// Standard normal via Box–Muller (we avoid `rand_distr`, which is not on the
-/// offline allowlist).
+/// Standard normal via Box–Muller (no external distribution crates in the
+/// offline build).
 #[inline]
 pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // Draw u1 in (0,1] to avoid ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.next_f64();
+    let u2: f64 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -43,13 +43,12 @@ pub fn add_noise<R: Rng + ?Sized>(rng: &mut R, x: &mut [Complex], noise_power: f
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
     use crate::stats::mean_power;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn noise_power_matches_request() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let v = cgauss_vec(&mut rng, 200_000, 2.5);
         let p = mean_power(&v);
         assert!((p - 2.5).abs() < 0.05, "measured power {p}");
@@ -57,7 +56,7 @@ mod tests {
 
     #[test]
     fn gauss_mean_and_var() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let xs: Vec<f64> = (0..200_000).map(|_| gauss(&mut rng)).collect();
         let m = crate::stats::mean(&xs);
         let v = crate::stats::variance(&xs);
@@ -67,14 +66,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let mut a = StdRng::seed_from_u64(1);
-        let mut b = StdRng::seed_from_u64(1);
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
         assert_eq!(cgauss_vec(&mut a, 16, 1.0), cgauss_vec(&mut b, 16, 1.0));
     }
 
     #[test]
     fn zero_power_noise_is_noop() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let mut x = vec![Complex::ONE; 8];
         add_noise(&mut rng, &mut x, 0.0);
         assert!(x.iter().all(|v| (*v - Complex::ONE).abs() < 1e-15));
@@ -82,7 +81,7 @@ mod tests {
 
     #[test]
     fn add_noise_raises_power() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SplitMix64::new(9);
         let mut x = vec![Complex::ZERO; 100_000];
         add_noise(&mut rng, &mut x, 0.7);
         let p = mean_power(&x);

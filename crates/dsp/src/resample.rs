@@ -18,7 +18,7 @@ pub fn hold_upsample(x: &[Complex], factor: usize) -> Vec<Complex> {
     assert!(factor > 0, "hold_upsample: factor must be positive");
     let mut out = Vec::with_capacity(x.len() * factor);
     for &v in x {
-        out.extend(std::iter::repeat(v).take(factor));
+        out.extend(std::iter::repeat_n(v, factor));
     }
     out
 }
@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn hold_then_decimate_is_identity() {
-        let x: Vec<Complex> = (0..10).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..10)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         let up = hold_upsample(&x, 7);
         assert_eq!(up.len(), 70);
         let down = decimate(&up, 7, 0);

@@ -77,13 +77,12 @@ mod tests {
     use super::*;
     use crate::fft::fftshift;
     use crate::noise::cgauss_vec;
+    use crate::rng::SplitMix64;
     use crate::stats::mean_power;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn white_noise_is_flat_and_parseval_consistent() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let x = cgauss_vec(&mut rng, 64 * 200, 2.0);
         let psd = welch_psd(&x, 64, 0.5);
         let total: f64 = psd.iter().sum();
@@ -118,9 +117,7 @@ mod tests {
 
     #[test]
     fn occupied_bandwidth_of_a_tone_is_narrow() {
-        let x: Vec<Complex> = (0..6400)
-            .map(|n| Complex::exp_j(0.7 * n as f64))
-            .collect();
+        let x: Vec<Complex> = (0..6400).map(|n| Complex::exp_j(0.7 * n as f64)).collect();
         let psd = welch_psd(&x, 128, 0.5);
         let bw = occupied_bandwidth(&psd, 20e6, 0.9);
         assert!(bw < 1e6, "tone bandwidth {bw}");

@@ -32,7 +32,7 @@ pub fn chips_per_sample(preamble_us: f64) -> Vec<f64> {
     let per = us_to_samples(PREAMBLE_CHIP_US);
     let mut out = Vec::with_capacity(chips.len() * per);
     for c in chips {
-        out.extend(std::iter::repeat(c).take(per));
+        out.extend(std::iter::repeat_n(c, per));
     }
     out
 }
@@ -82,7 +82,12 @@ pub fn estimate_h_fb(
         };
         let res = residual_power(&u, yw, &h);
         let energy: f64 = h.iter().map(|t| t.norm_sqr()).sum();
-        let cand = ChannelEstimate { h_fb: h, offset: off, residual: res, energy };
+        let cand = ChannelEstimate {
+            h_fb: h,
+            offset: off,
+            residual: res,
+            energy,
+        };
         match &best {
             Some(b) if b.residual <= cand.residual => {}
             _ => best = Some(cand),
@@ -96,8 +101,7 @@ mod tests {
     use super::*;
     use backfi_dsp::fir::filter;
     use backfi_dsp::noise::{add_noise, cgauss_vec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
     /// Simulate the true tag preamble signal: ((x∗h_f)·c)∗h_b.
     fn tag_preamble_signal(
@@ -125,7 +129,7 @@ mod tests {
 
     #[test]
     fn recovers_cascade_channel() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let x = cgauss_vec(&mut rng, 3000, 1.0);
         let h_f = vec![Complex::new(3e-3, 1e-3), Complex::new(5e-4, -2e-4)];
         let h_b = vec![Complex::new(2e-3, -1e-3), Complex::new(-3e-4, 1e-4)];
@@ -142,7 +146,7 @@ mod tests {
 
     #[test]
     fn timing_search_finds_true_offset() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let x = cgauss_vec(&mut rng, 4000, 1.0);
         let h_f = vec![Complex::new(2e-3, 0.0)];
         let h_b = vec![Complex::new(1e-3, 1e-3)];
@@ -164,8 +168,8 @@ mod tests {
         let mut errs = Vec::new();
         for &us in &[32.0, 96.0] {
             let mut total = 0.0;
-            for seed in 0..8 {
-                let mut rng = StdRng::seed_from_u64(100 + seed);
+            for seed in 0..24 {
+                let mut rng = SplitMix64::new(100 + seed);
                 let x = cgauss_vec(&mut rng, 4000, 1.0);
                 let mut y = tag_preamble_signal(&x, 300, us, &h_f, &h_b);
                 add_noise(&mut rng, &mut y, noise);

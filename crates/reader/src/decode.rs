@@ -114,8 +114,7 @@ pub fn frame_ber(decoded: &[bool], payload: &[u8]) -> f64 {
 mod tests {
     use super::*;
     use backfi_dsp::noise::cgauss;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
     /// Build symbol estimates straight from an encoded frame, with optional
     /// phase noise.
@@ -133,14 +132,18 @@ mod tests {
             preamble_us: 32.0,
         };
         let symbols = TagFrame::encode(payload, &cfg);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         // decode_symbols consumes the post-pilot data symbols.
         symbols[backfi_tag::framer::PILOT_SYMBOLS..]
             .iter()
             .map(|&idx| {
                 let phase = 2.0 * std::f64::consts::PI * idx as f64 / modulation.order() as f64;
                 let z = Complex::exp_j(phase) + cgauss(&mut rng, noise);
-                SymbolEstimate { z, ref_energy: 1.0, noise_var: noise.max(1e-12) }
+                SymbolEstimate {
+                    z,
+                    ref_energy: 1.0,
+                    noise_var: noise.max(1e-12),
+                }
             })
             .collect()
     }
@@ -167,7 +170,11 @@ mod tests {
         let (frame, decoded, metrics) = decode_symbols(&est, TagModulation::Qpsk, CodeRate::Half);
         assert_eq!(frame.unwrap(), payload);
         assert!(frame_ber(&decoded, &payload) < 1e-9);
-        assert!((metrics.symbol_snr_db - 10.0).abs() < 2.0, "snr {}", metrics.symbol_snr_db);
+        assert!(
+            (metrics.symbol_snr_db - 10.0).abs() < 2.0,
+            "snr {}",
+            metrics.symbol_snr_db
+        );
     }
 
     #[test]
@@ -186,8 +193,13 @@ mod tests {
         for noise in [0.3, 0.8, 2.0] {
             let mut total = 0.0;
             for seed in 0..5 {
-                let est =
-                    estimates_for(&payload, TagModulation::Qpsk, CodeRate::Half, noise, 10 + seed);
+                let est = estimates_for(
+                    &payload,
+                    TagModulation::Qpsk,
+                    CodeRate::Half,
+                    noise,
+                    10 + seed,
+                );
                 let (_, decoded, _) = decode_symbols(&est, TagModulation::Qpsk, CodeRate::Half);
                 total += frame_ber(&decoded, &payload);
             }

@@ -91,16 +91,18 @@ pub fn zf_symbol(y: &[Complex], reference: &[Complex], guard: usize) -> Option<C
 mod tests {
     use super::*;
     use backfi_dsp::noise::{cgauss, cgauss_vec};
+    use backfi_dsp::rng::SplitMix64;
     use backfi_dsp::stats;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn noiseless_recovers_exact_phase() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let reference = cgauss_vec(&mut rng, 40, 1.0);
         let theta = 1.234;
-        let y: Vec<Complex> = reference.iter().map(|r| *r * Complex::exp_j(theta)).collect();
+        let y: Vec<Complex> = reference
+            .iter()
+            .map(|r| *r * Complex::exp_j(theta))
+            .collect();
         let est = mrc_symbol(&y, &reference, 4, 0.0).unwrap();
         assert!((est.z.arg() - theta).abs() < 1e-12);
         assert!((est.z.abs() - 1.0).abs() < 1e-12);
@@ -109,7 +111,7 @@ mod tests {
     #[test]
     fn mrc_noise_variance_model_holds() {
         // var(ẑ) should match noise_power/Σ|ŷ|².
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let reference = cgauss_vec(&mut rng, 32, 1.0);
         let noise = 0.1;
         let mut errs = Vec::new();
@@ -134,7 +136,7 @@ mod tests {
     fn longer_windows_reduce_error() {
         // The MRC diversity gain of Fig. 11b: more samples per symbol →
         // lower phase-estimate variance.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let noise = 0.5;
         let mut var_by_len = Vec::new();
         for &len in &[8usize, 64] {
@@ -158,7 +160,7 @@ mod tests {
     fn mrc_beats_zero_forcing() {
         // §4.3.2's claim: dividing by the reference amplifies noise when the
         // wideband reference fades.
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::new(4);
         let noise = 0.05;
         let mut mrc_err = 0.0;
         let mut zf_err = 0.0;
@@ -181,7 +183,7 @@ mod tests {
 
     #[test]
     fn guard_skips_corrupted_boundary() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::new(5);
         let reference = cgauss_vec(&mut rng, 20, 1.0);
         let mut y: Vec<Complex> = reference.clone();
         // Corrupt the first 3 samples (previous-symbol transient).

@@ -80,7 +80,12 @@ mod tests {
 
     fn outcome(m: TagModulation, r: CodeRate, f: f64, decoded: bool) -> TrialOutcome {
         TrialOutcome {
-            config: TagConfig { modulation: m, code_rate: r, symbol_rate_hz: f, preamble_us: 32.0 },
+            config: TagConfig {
+                modulation: m,
+                code_rate: r,
+                symbol_rate_hz: f,
+                preamble_us: 32.0,
+            },
             decoded,
             symbol_snr_db: 10.0,
         }

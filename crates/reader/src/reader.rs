@@ -279,7 +279,13 @@ impl BackscatterReader {
     /// Shared back half: pilot phase anchor → decision-directed phase
     /// refinement → soft decode → frame parse.
     fn finish(&self, branch: Branch, tag_cfg: &TagConfig) -> TagDecodeResult {
-        let Branch { symbols, cancellation_db, residual_db, h_fb, timing_offset } = branch;
+        let Branch {
+            symbols,
+            cancellation_db,
+            residual_db,
+            h_fb,
+            timing_offset,
+        } = branch;
         // The first payload symbol is a known index-0 pilot; derotating by
         // its phase removes any constant phase error the channel estimate
         // picked up (which would otherwise rotate the whole constellation by
@@ -305,7 +311,8 @@ impl BackscatterReader {
             let mut acc = Complex::ZERO;
             for s in symbols.iter() {
                 let bits = backfi_tag::psk::phase_to_bits(tag_cfg.modulation, s.z.arg());
-                let ideal = Complex::exp_j(backfi_tag::psk::bits_to_phase(tag_cfg.modulation, &bits));
+                let ideal =
+                    Complex::exp_j(backfi_tag::psk::bits_to_phase(tag_cfg.modulation, &bits));
                 // Weight by reference energy so noisy symbols count less.
                 acc += s.z * ideal.conj() * s.ref_energy;
             }
@@ -356,24 +363,27 @@ mod tests {
     use backfi_chan::budget::LinkBudget;
     use backfi_chan::medium::{BackscatterMedium, MediumConfig};
     use backfi_dsp::noise::cgauss_vec;
+    use backfi_dsp::rng::SplitMix64;
     use backfi_tag::Tag;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Full closed-loop: synthetic wideband excitation with an embedded
     /// wake-up preamble, a real Tag state machine, the real medium, and the
     /// reader. (End-to-end with real WiFi excitation lives in `backfi-core`.)
-    fn run_link(distance: f64, tag_cfg: TagConfig, seed: u64) -> (Result<TagDecodeResult, ReaderError>, Vec<u8>) {
+    fn run_link(
+        distance: f64,
+        tag_cfg: TagConfig,
+        seed: u64,
+    ) -> (Result<TagDecodeResult, ReaderError>, Vec<u8>) {
         use backfi_tag::detector::SAMPLES_PER_BIT;
 
         // Excitation: idle, wake-up pulses for tag 1, then wideband "data".
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut x = vec![Complex::ZERO; 200];
         for &b in &backfi_coding::prbs::tag_preamble(1) {
             if b {
                 x.extend(cgauss_vec(&mut rng, SAMPLES_PER_BIT, 1.0));
             } else {
-                x.extend(std::iter::repeat(Complex::ZERO).take(SAMPLES_PER_BIT));
+                x.extend(std::iter::repeat_n(Complex::ZERO, SAMPLES_PER_BIT));
             }
         }
         let detect_end = x.len();
@@ -385,15 +395,13 @@ mod tests {
         let budget = LinkBudget::default();
         let mut medium = BackscatterMedium::new(budget, MediumConfig::at_distance(distance), seed);
         let a = budget.tx_power().sqrt();
-        let incident: Vec<Complex> = backfi_dsp::fir::filter(
-            &medium.h_f,
-            &x.iter().map(|&v| v * a).collect::<Vec<_>>(),
-        );
+        let incident: Vec<Complex> =
+            backfi_dsp::fir::filter(&medium.h_f, &x.iter().map(|&v| v * a).collect::<Vec<_>>());
         let mut tag = Tag::new(1, tag_cfg);
         // Size the payload to fit the excitation at this configuration.
         let airtime_us = backfi_dsp::samples_to_us(excitation_end - detect_end);
         let max = backfi_tag::framer::TagFrame::max_payload_bytes(&tag_cfg, airtime_us);
-        let len = max.min(48).max(4);
+        let len = max.clamp(4, 48);
         let data: Vec<u8> = (0..len).map(|i| (i * 11 + 3) as u8).collect();
         tag.load_data(&data);
         let gamma = tag.react(&incident);
@@ -416,8 +424,16 @@ mod tests {
         let (res, data) = run_link(1.0, cfg, 42);
         let res = res.expect("decode");
         assert_eq!(res.payload.as_ref().unwrap(), &data);
-        assert!(res.cancellation_db > 50.0, "cancellation {}", res.cancellation_db);
-        assert!(res.metrics.symbol_snr_db > 5.0, "snr {}", res.metrics.symbol_snr_db);
+        assert!(
+            res.cancellation_db > 50.0,
+            "cancellation {}",
+            res.cancellation_db
+        );
+        assert!(
+            res.metrics.symbol_snr_db > 5.0,
+            "snr {}",
+            res.metrics.symbol_snr_db
+        );
     }
 
     #[test]
@@ -444,9 +460,8 @@ mod tests {
         // 16PSK 2/3 at 2.5 MSPS at 6 m should not decode — but must not
         // panic either: CRC failure or reader error are both acceptable.
         let (res, data) = run_link(6.0, cfg, 9);
-        match res {
-            Ok(r) => assert_ne!(r.payload.ok(), Some(data)),
-            Err(_) => {}
+        if let Ok(r) = res {
+            assert_ne!(r.payload.ok(), Some(data))
         }
     }
 
@@ -455,7 +470,8 @@ mod tests {
         let cfg = TagConfig::default();
         let snr_at = |d: f64| {
             let (res, _) = run_link(d, cfg, 123);
-            res.map(|r| r.metrics.symbol_snr_db).unwrap_or(f64::NEG_INFINITY)
+            res.map(|r| r.metrics.symbol_snr_db)
+                .unwrap_or(f64::NEG_INFINITY)
         };
         let near = snr_at(0.5);
         let far = snr_at(4.0);

@@ -34,7 +34,10 @@ impl Default for AnalogConfig {
         // to cover the bulk of the reflection tail, so the post-analog
         // residual fits a 12-bit ADC without its quantization noise raising
         // the post-digital floor.
-        AnalogConfig { taps: 16, control_bits: 8 }
+        AnalogConfig {
+            taps: 16,
+            control_bits: 8,
+        }
     }
 }
 
@@ -53,19 +56,16 @@ impl AnalogCanceller {
         let step = max_mag / (1u64 << cfg.control_bits) as f64;
         let taps = h_env[..n]
             .iter()
-            .map(|t| {
-                Complex::new(
-                    (t.re / step).round() * step,
-                    (t.im / step).round() * step,
-                )
-            })
+            .map(|t| Complex::new((t.re / step).round() * step, (t.im / step).round() * step))
             .collect();
         AnalogCanceller { taps }
     }
 
     /// A disabled canceller (all-zero taps) for ablation experiments.
     pub fn disabled() -> Self {
-        AnalogCanceller { taps: vec![Complex::ZERO] }
+        AnalogCanceller {
+            taps: vec![Complex::ZERO],
+        }
     }
 
     /// The canceller's FIR taps.
@@ -88,9 +88,8 @@ mod tests {
     use super::*;
     use backfi_dsp::fir::filter;
     use backfi_dsp::noise::cgauss_vec;
+    use backfi_dsp::rng::SplitMix64;
     use backfi_dsp::stats::{db, mean_power};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn env_channel() -> Vec<Complex> {
         vec![
@@ -104,11 +103,17 @@ mod tests {
     #[test]
     fn cancellation_depth_limited_by_control_bits() {
         let h = env_channel();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let x = cgauss_vec(&mut rng, 5000, 1.0);
         let y = filter(&h, &x);
         for (bits, min_db, max_db) in [(6u32, 25.0, 50.0), (8, 38.0, 62.0), (10, 50.0, 75.0)] {
-            let c = AnalogCanceller::tuned(&h, AnalogConfig { taps: 8, control_bits: bits });
+            let c = AnalogCanceller::tuned(
+                &h,
+                AnalogConfig {
+                    taps: 8,
+                    control_bits: bits,
+                },
+            );
             let out = c.cancel(&x, &y);
             let depth = db(mean_power(&y) / mean_power(&out));
             assert!(
@@ -121,12 +126,18 @@ mod tests {
     #[test]
     fn more_bits_cancel_deeper() {
         let h = env_channel();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let x = cgauss_vec(&mut rng, 5000, 1.0);
         let y = filter(&h, &x);
         let mut prev = 0.0;
         for bits in [4u32, 6, 8, 10] {
-            let c = AnalogCanceller::tuned(&h, AnalogConfig { taps: 8, control_bits: bits });
+            let c = AnalogCanceller::tuned(
+                &h,
+                AnalogConfig {
+                    taps: 8,
+                    control_bits: bits,
+                },
+            );
             let out = c.cancel(&x, &y);
             let depth = db(mean_power(&y) / mean_power(&out));
             assert!(depth > prev, "bits {bits}: {depth} <= {prev}");
@@ -136,7 +147,7 @@ mod tests {
 
     #[test]
     fn disabled_is_identity() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let x = cgauss_vec(&mut rng, 100, 1.0);
         let y = cgauss_vec(&mut rng, 100, 1.0);
         let c = AnalogCanceller::disabled();
@@ -152,10 +163,13 @@ mod tests {
         let mut h = vec![Complex::ZERO; 12];
         h[0] = Complex::new(0.1, 0.0);
         h[10] = Complex::new(0.01, 0.01); // beyond this board's 8 taps
-        let cfg = AnalogConfig { taps: 8, control_bits: 8 };
+        let cfg = AnalogConfig {
+            taps: 8,
+            control_bits: 8,
+        };
         let c = AnalogCanceller::tuned(&h, cfg);
         assert_eq!(c.taps().len(), 8);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = SplitMix64::new(4);
         let x = cgauss_vec(&mut rng, 3000, 1.0);
         let y = filter(&h, &x);
         let out = c.cancel(&x, &y);

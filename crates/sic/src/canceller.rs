@@ -179,13 +179,12 @@ mod tests {
     use super::*;
     use backfi_dsp::fir::filter;
     use backfi_dsp::noise::{add_noise, cgauss_vec};
+    use backfi_dsp::rng::SplitMix64;
     use backfi_dsp::stats::{db, mean_power};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Build a synthetic scene: strong SI channel + noise, no tag.
     fn scene(seed: u64, n: usize, noise: f64) -> (Vec<Complex>, Vec<Complex>, Vec<Complex>) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let x = cgauss_vec(&mut rng, n, 10.0); // ~10 dBm
         let mut h_env = vec![Complex::ZERO; 20];
         h_env[0] = Complex::new(0.08, -0.05); // leakage
@@ -204,7 +203,11 @@ mod tests {
         let (x, y, h_env) = scene(1, 4000, noise);
         let c = SelfInterferenceCanceller::new(CancellerConfig::default(), &h_env);
         let rep = c.process(&x, &y, 0..320).unwrap();
-        assert!(rep.adc_clip_fraction < 0.01, "clip {}", rep.adc_clip_fraction);
+        assert!(
+            rep.adc_clip_fraction < 0.01,
+            "clip {}",
+            rep.adc_clip_fraction
+        );
         let excess = rep.residual_db - db(noise);
         assert!(
             excess < 3.0,
@@ -219,7 +222,10 @@ mod tests {
     fn without_analog_stage_adc_saturates() {
         let noise = 1e-9;
         let (x, y, h_env) = scene(2, 4000, noise);
-        let cfg = CancellerConfig { analog_enabled: false, ..Default::default() };
+        let cfg = CancellerConfig {
+            analog_enabled: false,
+            ..Default::default()
+        };
         let c = SelfInterferenceCanceller::new(cfg, &h_env);
         let rep = c.process(&x, &y, 0..320).unwrap();
         // AGC scales to the huge SI, so quantization noise swamps everything:
@@ -232,11 +238,17 @@ mod tests {
     fn without_digital_stage_residual_is_large() {
         let noise = 1e-9;
         let (x, y, h_env) = scene(3, 4000, noise);
-        let cfg = CancellerConfig { digital_enabled: false, ..Default::default() };
+        let cfg = CancellerConfig {
+            digital_enabled: false,
+            ..Default::default()
+        };
         let c = SelfInterferenceCanceller::new(cfg, &h_env);
         let rep = c.process(&x, &y, 0..320).unwrap();
         let excess = rep.residual_db - db(noise);
-        assert!(excess > 20.0, "analog alone should leave residue: {excess} dB");
+        assert!(
+            excess > 20.0,
+            "analog alone should leave residue: {excess} dB"
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub fn estimate_fir(x: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Op
     let mut a = CMat::zeros(taps, taps);
     let mut b = vec![Complex::ZERO; taps];
     let mut mean_power = 0.0;
-    for n_i in taps - 1..n {
-        mean_power += x[n_i].norm_sqr();
+    for xv in x.iter().take(n).skip(taps - 1) {
+        mean_power += xv.norm_sqr();
     }
     mean_power /= (n - taps + 1) as f64;
 
@@ -80,7 +80,11 @@ pub fn estimate_fir_masked(
     mask: &[bool],
 ) -> Option<Vec<Complex>> {
     assert_eq!(x.len(), y.len(), "estimate_fir_masked: length mismatch");
-    assert_eq!(mask.len(), y.len(), "estimate_fir_masked: mask length mismatch");
+    assert_eq!(
+        mask.len(),
+        y.len(),
+        "estimate_fir_masked: mask length mismatch"
+    );
     assert!(taps >= 1, "estimate_fir_masked: need at least one tap");
     let n = x.len();
     let idx: Vec<usize> = (taps - 1..n).filter(|&i| mask[i]).collect();
@@ -138,11 +142,10 @@ mod tests {
     use super::*;
     use backfi_dsp::fir::filter;
     use backfi_dsp::noise::{add_noise, cgauss_vec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
     fn probe(n: usize, seed: u64) -> Vec<Complex> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         cgauss_vec(&mut rng, n, 1.0)
     }
 
@@ -180,10 +183,14 @@ mod tests {
         for &n in &[400usize, 1600] {
             let x = probe(n, 3);
             let mut y = filter(&h_true, &x);
-            let mut rng = StdRng::seed_from_u64(99);
+            let mut rng = SplitMix64::new(99);
             add_noise(&mut rng, &mut y, 0.01);
             let h = estimate_fir(&x, &y, 2, 1e-9).unwrap();
-            let err: f64 = h.iter().zip(&h_true).map(|(g, t)| (*g - *t).norm_sqr()).sum();
+            let err: f64 = h
+                .iter()
+                .zip(&h_true)
+                .map(|(g, t)| (*g - *t).norm_sqr())
+                .sum();
             errs.push(err);
         }
         assert!(errs[1] < errs[0], "more data must reduce error: {errs:?}");
@@ -192,10 +199,14 @@ mod tests {
     #[test]
     fn residual_reaches_noise_floor() {
         let x = probe(1000, 4);
-        let h_true = vec![Complex::new(0.5, 0.5), Complex::new(0.1, -0.2), Complex::new(0.01, 0.0)];
+        let h_true = vec![
+            Complex::new(0.5, 0.5),
+            Complex::new(0.1, -0.2),
+            Complex::new(0.01, 0.0),
+        ];
         let mut y = filter(&h_true, &x);
         let noise = 1e-4;
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         add_noise(&mut rng, &mut y, noise);
         let h = estimate_fir(&x, &y, 3, 1e-9).unwrap();
         let res = residual_power(&x, &y, &h);
@@ -226,7 +237,11 @@ mod tests {
         }
         // Unmasked estimation would be destroyed by the outliers.
         let h_bad = estimate_fir(&x, &y, 2, 1e-9).unwrap();
-        let err: f64 = h_bad.iter().zip(&h_true).map(|(g, t)| (*g - *t).norm_sqr()).sum();
+        let err: f64 = h_bad
+            .iter()
+            .zip(&h_true)
+            .map(|(g, t)| (*g - *t).norm_sqr())
+            .sum();
         assert!(err > 1e-3, "outliers should hurt: {err:e}");
     }
 
@@ -245,7 +260,9 @@ mod tests {
     fn works_with_modulated_reference() {
         // The h_fb estimation case: x is WiFi × PN chips.
         let wifi = probe(600, 6);
-        let chips: Vec<f64> = (0..600).map(|i| if (i / 20) % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let chips: Vec<f64> = (0..600)
+            .map(|i| if (i / 20) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let u: Vec<Complex> = wifi.iter().zip(&chips).map(|(w, c)| w.scale(*c)).collect();
         let h_true = vec![Complex::new(0.3, 0.1), Complex::new(-0.1, 0.05)];
         let y = filter(&h_true, &u);

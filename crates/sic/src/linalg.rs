@@ -18,7 +18,11 @@ pub struct CMat {
 impl CMat {
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        CMat { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -184,7 +188,9 @@ mod tests {
             }
             a[(r, r)] += Complex::real(4.0); // diagonal dominance
         }
-        let x_true: Vec<Complex> = (0..n).map(|i| c(i as f64 * 0.3, 1.0 - i as f64 * 0.1)).collect();
+        let x_true: Vec<Complex> = (0..n)
+            .map(|i| c(i as f64 * 0.3, 1.0 - i as f64 * 0.1))
+            .collect();
         let b = a.mul_vec(&x_true);
         let x = solve(&a, &b).unwrap();
         for (g, t) in x.iter().zip(&x_true) {

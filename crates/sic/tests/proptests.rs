@@ -1,24 +1,32 @@
-//! Property-based tests of the linear algebra and channel estimation in the
+//! Randomized tests of the linear algebra and channel estimation in the
 //! cancellation stack.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree [`SplitMix64`]
+//! generator so the suite builds offline and every case is reproducible from
+//! its loop index.
 
 use backfi_dsp::fir::filter;
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
 use backfi_sic::estimator::{estimate_fir, residual_power};
 use backfi_sic::linalg::{solve, CMat};
-use proptest::prelude::*;
 
-fn small_complex() -> impl Strategy<Value = Complex> {
-    (-5.0f64..5.0, -5.0f64..5.0).prop_map(|(re, im)| Complex::new(re, im))
+const CASES: u64 = 32;
+
+fn small_complex(rng: &mut SplitMix64) -> Complex {
+    Complex::new(-5.0 + 10.0 * rng.next_f64(), -5.0 + 10.0 * rng.next_f64())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn small_complex_vec(rng: &mut SplitMix64, len: usize) -> Vec<Complex> {
+    (0..len).map(|_| small_complex(rng)).collect()
+}
 
-    #[test]
-    fn solve_recovers_solution_of_dd_system(
-        entries in proptest::collection::vec(small_complex(), 16..17),
-        x_true in proptest::collection::vec(small_complex(), 4..5),
-    ) {
+#[test]
+fn solve_recovers_solution_of_dd_system() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x51_0000 + case);
+        let entries = small_complex_vec(&mut rng, 16);
+        let x_true = small_complex_vec(&mut rng, 4);
         // Build a 4×4 diagonally dominant (hence well-conditioned) matrix.
         let mut a = CMat::zeros(4, 4);
         for r in 0..4 {
@@ -30,48 +38,53 @@ proptest! {
         let b = a.mul_vec(&x_true);
         let x = solve(&a, &b).expect("dd system is solvable");
         for (g, t) in x.iter().zip(&x_true) {
-            prop_assert!((*g - *t).abs() < 1e-7, "{:?} vs {:?}", g, t);
+            assert!((*g - *t).abs() < 1e-7, "{g:?} vs {t:?}");
         }
     }
+}
 
-    #[test]
-    fn identity_times_anything(v in proptest::collection::vec(small_complex(), 6..7)) {
+#[test]
+fn identity_times_anything() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x52_0000 + case);
+        let v = small_complex_vec(&mut rng, 6);
         let a = CMat::eye(6);
-        prop_assert_eq!(a.mul_vec(&v), v.clone());
+        assert_eq!(a.mul_vec(&v), v.clone());
         let x = solve(&a, &v).unwrap();
         for (g, t) in x.iter().zip(&v) {
-            prop_assert!((*g - *t).abs() < 1e-12);
+            assert!((*g - *t).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn ls_recovers_arbitrary_short_channels(
-        h_true in proptest::collection::vec(small_complex(), 1..5),
-        seed in 0u64..1000,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn ls_recovers_arbitrary_short_channels() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x53_0000 + case);
+        let n = 1 + rng.below(4) as usize;
+        let h_true = small_complex_vec(&mut rng, n);
         let x = backfi_dsp::noise::cgauss_vec(&mut rng, 300, 1.0);
         let y = filter(&h_true, &x);
         let h = estimate_fir(&x, &y, h_true.len(), 1e-10).expect("solvable");
         for (g, t) in h.iter().zip(&h_true) {
-            prop_assert!((*g - *t).abs() < 1e-6, "{:?} vs {:?}", g, t);
+            assert!((*g - *t).abs() < 1e-6, "{g:?} vs {t:?}");
         }
-        prop_assert!(residual_power(&x, &y, &h) < 1e-10);
+        assert!(residual_power(&x, &y, &h) < 1e-10);
     }
+}
 
-    #[test]
-    fn ls_overmodelling_is_harmless(
-        h_true in proptest::collection::vec(small_complex(), 1..3),
-        extra in 1usize..5, seed in 0u64..1000,
-    ) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn ls_overmodelling_is_harmless() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x54_0000 + case);
+        let n = 1 + rng.below(2) as usize;
+        let h_true = small_complex_vec(&mut rng, n);
+        let extra = 1 + rng.below(4) as usize;
         let x = backfi_dsp::noise::cgauss_vec(&mut rng, 400, 1.0);
         let y = filter(&h_true, &x);
         let h = estimate_fir(&x, &y, h_true.len() + extra, 1e-10).expect("solvable");
         for t in &h[h_true.len()..] {
-            prop_assert!(t.abs() < 1e-6, "spurious tap {:?}", t);
+            assert!(t.abs() < 1e-6, "spurious tap {t:?}");
         }
     }
 }

@@ -15,7 +15,11 @@ pub enum TagModulation {
 
 impl TagModulation {
     /// All supported modulations, lowest order first.
-    pub const ALL: [TagModulation; 3] = [TagModulation::Bpsk, TagModulation::Qpsk, TagModulation::Psk16];
+    pub const ALL: [TagModulation; 3] = [
+        TagModulation::Bpsk,
+        TagModulation::Qpsk,
+        TagModulation::Psk16,
+    ];
 
     /// Constellation size.
     pub fn order(self) -> usize {
@@ -92,7 +96,12 @@ impl TagConfig {
         for &symbol_rate_hz in &TAG_SYMBOL_RATES {
             for modulation in TagModulation::ALL {
                 for code_rate in TAG_CODE_RATES {
-                    v.push(TagConfig { modulation, code_rate, symbol_rate_hz, preamble_us });
+                    v.push(TagConfig {
+                        modulation,
+                        code_rate,
+                        symbol_rate_hz,
+                        preamble_us,
+                    });
                 }
             }
         }
@@ -113,7 +122,11 @@ impl TagConfig {
     pub fn samples_per_symbol(&self) -> usize {
         let sps = backfi_dsp::SAMPLE_RATE_HZ / self.symbol_rate_hz;
         let n = sps.round() as usize;
-        assert!(n >= 8, "symbol rate {} too fast for 20 MHz sampling", self.symbol_rate_hz);
+        assert!(
+            n >= 8,
+            "symbol rate {} too fast for 20 MHz sampling",
+            self.symbol_rate_hz
+        );
         n
     }
 
@@ -159,8 +172,10 @@ mod tests {
 
     #[test]
     fn samples_per_symbol() {
-        let mut c = TagConfig::default();
-        c.symbol_rate_hz = 2.5e6;
+        let mut c = TagConfig {
+            symbol_rate_hz: 2.5e6,
+            ..Default::default()
+        };
         assert_eq!(c.samples_per_symbol(), 8);
         c.symbol_rate_hz = 10e3;
         assert_eq!(c.samples_per_symbol(), 2000);

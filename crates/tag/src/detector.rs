@@ -86,7 +86,11 @@ impl PreambleCorrelator {
         assert!(!pattern.is_empty(), "empty preamble pattern");
         assert!(min_matches <= pattern.len(), "min_matches too large");
         let min_score = (2 * min_matches) as i32 - pattern.len() as i32;
-        PreambleCorrelator { pattern, window: Vec::new(), min_score }
+        PreambleCorrelator {
+            pattern,
+            window: Vec::new(),
+            min_score,
+        }
     }
 
     /// Push comparator bits one at a time; returns `true` on the bit that
@@ -161,7 +165,10 @@ mod tests {
         let mut c = PreambleCorrelator::new(pattern.clone(), 16);
         // noise bits then the pattern
         let mut hits = 0;
-        for &b in [true, false, false, true, true, false].iter().chain(pattern.iter()) {
+        for &b in [true, false, false, true, true, false]
+            .iter()
+            .chain(pattern.iter())
+        {
             if c.push(b) {
                 hits += 1;
             }

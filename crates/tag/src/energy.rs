@@ -79,7 +79,12 @@ pub fn fig7_table() -> Vec<Fig7Row> {
             let mut columns = Vec::new();
             for modulation in TagModulation::ALL {
                 for code_rate in crate::config::TAG_CODE_RATES {
-                    let cfg = TagConfig { modulation, code_rate, symbol_rate_hz, preamble_us: 32.0 };
+                    let cfg = TagConfig {
+                        modulation,
+                        code_rate,
+                        symbol_rate_hz,
+                        preamble_us: 32.0,
+                    };
                     columns.push((
                         format!("{} {}", modulation.label(), code_rate.label()),
                         repb(&cfg),
@@ -87,7 +92,10 @@ pub fn fig7_table() -> Vec<Fig7Row> {
                     ));
                 }
             }
-            Fig7Row { symbol_rate_hz, columns }
+            Fig7Row {
+                symbol_rate_hz,
+                columns,
+            }
         })
         .collect()
 }
@@ -97,7 +105,12 @@ mod tests {
     use super::*;
 
     fn cfg(m: TagModulation, r: CodeRate, f: f64) -> TagConfig {
-        TagConfig { modulation: m, code_rate: r, symbol_rate_hz: f, preamble_us: 32.0 }
+        TagConfig {
+            modulation: m,
+            code_rate: r,
+            symbol_rate_hz: f,
+            preamble_us: 32.0,
+        }
     }
 
     /// The complete Fig. 7 REPB table from the paper.
@@ -144,7 +157,9 @@ mod tests {
     #[test]
     fn throughput_matches_fig7() {
         // Spot-check the throughput rows of Fig. 7.
-        assert!((cfg(TagModulation::Psk16, CodeRate::Half, 2e6).throughput_bps() - 4e6).abs() < 1.0);
+        assert!(
+            (cfg(TagModulation::Psk16, CodeRate::Half, 2e6).throughput_bps() - 4e6).abs() < 1.0
+        );
         assert!(
             (cfg(TagModulation::Qpsk, CodeRate::TwoThirds, 1e6).throughput_bps() - 1.3333e6).abs()
                 < 100.0

@@ -67,7 +67,10 @@ impl TagFrame {
     pub fn preamble_chips(preamble_us: f64) -> Vec<f64> {
         let n = preamble_us.round() as usize;
         let mut l = Lfsr::maximal(7, 0x2B);
-        l.bits(n).into_iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+        l.bits(n)
+            .into_iter()
+            .map(|b| if b { 1.0 } else { -1.0 })
+            .collect()
     }
 
     /// Information bit stream for a payload: header ‖ payload ‖ CRC-32.
@@ -89,7 +92,7 @@ impl TagFrame {
         let mother = enc.encode_terminated(&bits);
         let mut coded = puncture(&mother, cfg.code_rate);
         let bps = cfg.modulation.bits_per_symbol();
-        while coded.len() % bps != 0 {
+        while !coded.len().is_multiple_of(bps) {
             coded.push(false);
         }
         let mut out = vec![0usize; PILOT_SYMBOLS];
@@ -177,7 +180,7 @@ mod tests {
     fn parse_ignores_pad() {
         let payload: Vec<u8> = (0..50).collect();
         let mut bits = TagFrame::info_bits(&payload);
-        bits.extend(std::iter::repeat(true).take(17));
+        bits.extend(std::iter::repeat_n(true, 17));
         assert_eq!(TagFrame::parse(&bits).unwrap(), payload);
     }
 
@@ -229,7 +232,10 @@ mod tests {
             assert!(chips.iter().all(|&c| c == 1.0 || c == -1.0));
         }
         // deterministic
-        assert_eq!(TagFrame::preamble_chips(32.0), TagFrame::preamble_chips(32.0));
+        assert_eq!(
+            TagFrame::preamble_chips(32.0),
+            TagFrame::preamble_chips(32.0)
+        );
     }
 
     #[test]

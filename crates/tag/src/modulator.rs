@@ -32,7 +32,9 @@ impl SwitchTreeModulator {
             .map(|i| {
                 let nominal = 2.0 * std::f64::consts::PI * i as f64 / order as f64;
                 // Deterministic pseudo-error in [-√3σ, +√3σ] (uniform, rms σ).
-                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17);
                 let u = (h as f64 / u64::MAX as f64) * 2.0 - 1.0;
                 let err = u * 3f64.sqrt() * phase_error_rms_deg.to_radians();
                 Complex::exp_j(nominal + err)
@@ -125,11 +127,15 @@ mod tests {
         for i in 0..16 {
             assert_eq!(a.coefficient(i), b.coefficient(i));
             let nominal = 2.0 * std::f64::consts::PI * i as f64 / 16.0;
-            let mut diff = (a.coefficient(i).arg() - nominal).rem_euclid(2.0 * std::f64::consts::PI);
+            let mut diff =
+                (a.coefficient(i).arg() - nominal).rem_euclid(2.0 * std::f64::consts::PI);
             if diff > std::f64::consts::PI {
                 diff -= 2.0 * std::f64::consts::PI;
             }
-            assert!(diff.abs() < (2.0f64 * 3f64.sqrt()).to_radians() + 1e-9, "leaf {i}");
+            assert!(
+                diff.abs() < (2.0f64 * 3f64.sqrt()).to_radians() + 1e-9,
+                "leaf {i}"
+            );
         }
     }
 

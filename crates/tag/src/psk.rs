@@ -51,13 +51,21 @@ pub fn phase_to_bits(m: TagModulation, phase: f64) -> Vec<bool> {
         idx += m.order() as i64;
     }
     let v = gray_decode(idx as usize);
-    (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect()
+    (0..m.bits_per_symbol())
+        .map(|i| (v >> i) & 1 == 1)
+        .collect()
 }
 
 /// Per-bit soft metrics (max-log LLR, positive ⇒ bit 1) for a received
 /// phasor `z` whose expected magnitude is `amp` and whose noise variance is
 /// `noise_var`.
-pub fn soft_bits(m: TagModulation, z: backfi_dsp::Complex, amp: f64, noise_var: f64, out: &mut Vec<f64>) {
+pub fn soft_bits(
+    m: TagModulation,
+    z: backfi_dsp::Complex,
+    amp: f64,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
     let n = m.bits_per_symbol();
     let scale = 1.0 / noise_var.max(1e-18);
     for bit in 0..n {
@@ -102,7 +110,9 @@ mod tests {
     fn phase_roundtrip_all_modulations() {
         for m in TagModulation::ALL {
             for v in 0..m.order() {
-                let bits: Vec<bool> = (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                let bits: Vec<bool> = (0..m.bits_per_symbol())
+                    .map(|i| (v >> i) & 1 == 1)
+                    .collect();
                 let phase = bits_to_phase(m, &bits);
                 assert_eq!(phase_to_bits(m, phase), bits, "{m:?} v={v}");
             }
@@ -114,8 +124,9 @@ mod tests {
         for m in TagModulation::ALL {
             let mut phases: Vec<f64> = (0..m.order())
                 .map(|v| {
-                    let bits: Vec<bool> =
-                        (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                    let bits: Vec<bool> = (0..m.bits_per_symbol())
+                        .map(|i| (v >> i) & 1 == 1)
+                        .collect();
                     bits_to_phase(m, &bits)
                 })
                 .collect();
@@ -148,7 +159,9 @@ mod tests {
     fn soft_bits_sign_matches_hard_decision() {
         for m in TagModulation::ALL {
             for v in 0..m.order() {
-                let bits: Vec<bool> = (0..m.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+                let bits: Vec<bool> = (0..m.bits_per_symbol())
+                    .map(|i| (v >> i) & 1 == 1)
+                    .collect();
                 let phase = bits_to_phase(m, &bits);
                 let z = Complex::from_polar(1.0, phase);
                 let mut llr = Vec::new();

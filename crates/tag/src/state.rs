@@ -106,7 +106,7 @@ impl Tag {
         for chunk in ChunkIter::new(incident) {
             match self.state {
                 TagState::Sleep | TagState::Done => {
-                    gamma.extend(std::iter::repeat(Complex::ZERO).take(chunk.len()));
+                    gamma.extend(std::iter::repeat_n(Complex::ZERO, chunk.len()));
                 }
                 TagState::Listening => {
                     // Sample-exact: a comparator bit completes every 20th
@@ -136,7 +136,7 @@ impl Tag {
                 }
                 TagState::Silent => {
                     let take = chunk.len().min(self.cursor);
-                    gamma.extend(std::iter::repeat(Complex::ZERO).take(take));
+                    gamma.extend(std::iter::repeat_n(Complex::ZERO, take));
                     self.cursor -= take;
                     if self.cursor == 0 {
                         self.state = TagState::Preamble;
@@ -259,9 +259,13 @@ mod tests {
         assert_eq!(tag.state(), TagState::Done);
 
         // Find where modulation starts: first nonzero gamma.
-        let first = gamma.iter().position(|g| g.abs() > 0.0).expect("tag reflected");
+        let first = gamma
+            .iter()
+            .position(|g| g.abs() > 0.0)
+            .expect("tag reflected");
         // Everything before it is silent; the preamble follows for 32 µs.
         let pre_len = us_to_samples(cfg.preamble_us);
+        #[allow(clippy::needless_range_loop)] // i names the absolute sample index
         for i in first..first + pre_len {
             assert!((gamma[i].abs() - 1.0).abs() < 1e-9, "preamble sample {i}");
             assert!(gamma[i].im.abs() < 1e-9, "preamble must be ±1");

@@ -1,110 +1,159 @@
-//! Property-based tests of the tag: framing must round-trip any payload,
+//! Randomized tests of the tag: framing must round-trip any payload,
 //! PSK mapping must be self-consistent, and the energy model must respect
 //! its structural monotonicities.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree [`SplitMix64`]
+//! generator so the suite builds offline and every case is reproducible from
+//! its loop index.
 
 use backfi_coding::CodeRate;
+use backfi_dsp::rng::SplitMix64;
 use backfi_tag::config::{TagConfig, TagModulation};
 use backfi_tag::energy::{epb_pj, repb};
 use backfi_tag::framer::TagFrame;
 use backfi_tag::psk::{bits_to_phase, phase_to_bits};
-use proptest::prelude::*;
 
-fn any_tag_cfg() -> impl Strategy<Value = TagConfig> {
-    (0usize..3, 0usize..2, 0usize..6).prop_map(|(m, r, f)| TagConfig {
-        modulation: TagModulation::ALL[m],
-        code_rate: [CodeRate::Half, CodeRate::TwoThirds][r],
-        symbol_rate_hz: backfi_tag::config::TAG_SYMBOL_RATES[f],
-        preamble_us: 32.0,
-    })
+const CASES: u64 = 64;
+
+fn byte_vec(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn any_tag_cfg(rng: &mut SplitMix64) -> TagConfig {
+    TagConfig {
+        modulation: TagModulation::ALL[rng.below(3) as usize],
+        code_rate: [CodeRate::Half, CodeRate::TwoThirds][rng.below(2) as usize],
+        symbol_rate_hz: backfi_tag::config::TAG_SYMBOL_RATES[rng.below(6) as usize],
+        preamble_us: 32.0,
+    }
+}
 
-    #[test]
-    fn frame_bits_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+#[test]
+fn frame_bits_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x31_0000 + case);
+        let n_payload = rng.below(300) as usize;
+        let payload = byte_vec(&mut rng, n_payload);
         let bits = TagFrame::info_bits(&payload);
-        prop_assert_eq!(TagFrame::parse(&bits).unwrap(), payload);
+        assert_eq!(TagFrame::parse(&bits).unwrap(), payload);
     }
+}
 
-    #[test]
-    fn frame_parse_survives_trailing_pad(payload in proptest::collection::vec(any::<u8>(), 1..100),
-                                         pad in proptest::collection::vec(any::<bool>(), 0..40)) {
+#[test]
+fn frame_parse_survives_trailing_pad() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x32_0000 + case);
+        let n_payload = 1 + rng.below(99) as usize;
+        let payload = byte_vec(&mut rng, n_payload);
         let mut bits = TagFrame::info_bits(&payload);
-        bits.extend(pad);
-        prop_assert_eq!(TagFrame::parse(&bits).unwrap(), payload);
+        let pad_len = rng.below(40) as usize;
+        bits.extend((0..pad_len).map(|_| rng.next_u64() & 1 == 1));
+        assert_eq!(TagFrame::parse(&bits).unwrap(), payload);
     }
+}
 
-    #[test]
-    fn frame_rejects_any_payload_bit_flip(payload in proptest::collection::vec(any::<u8>(), 1..64),
-                                          at in 24usize..500) {
+#[test]
+fn frame_rejects_any_payload_bit_flip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x33_0000 + case);
+        let n_payload = 1 + rng.below(63) as usize;
+        let payload = byte_vec(&mut rng, n_payload);
         let mut bits = TagFrame::info_bits(&payload);
+        let at = 24 + rng.below(476) as usize;
         let i = 24 + (at % (bits.len() - 24));
         bits[i] = !bits[i];
-        prop_assert!(TagFrame::parse(&bits).is_err());
+        assert!(TagFrame::parse(&bits).is_err());
     }
+}
 
-    #[test]
-    fn encode_length_matches_prediction(payload in proptest::collection::vec(any::<u8>(), 0..200),
-                                        cfg in any_tag_cfg()) {
+#[test]
+fn encode_length_matches_prediction() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x34_0000 + case);
+        let n_payload = rng.below(200) as usize;
+        let payload = byte_vec(&mut rng, n_payload);
+        let cfg = any_tag_cfg(&mut rng);
         let symbols = TagFrame::encode(&payload, &cfg);
-        prop_assert_eq!(symbols.len(), TagFrame::symbol_count(payload.len(), &cfg));
-        prop_assert!(symbols.iter().all(|&s| s < cfg.modulation.order()));
+        assert_eq!(symbols.len(), TagFrame::symbol_count(payload.len(), &cfg));
+        assert!(symbols.iter().all(|&s| s < cfg.modulation.order()));
     }
+}
 
-    #[test]
-    fn psk_roundtrip(v in 0usize..16, m in 0usize..3) {
-        let modulation = TagModulation::ALL[m];
-        let v = v % modulation.order();
-        let bits: Vec<bool> = (0..modulation.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+#[test]
+fn psk_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x35_0000 + case);
+        let modulation = TagModulation::ALL[rng.below(3) as usize];
+        let v = rng.below(16) as usize % modulation.order();
+        let bits: Vec<bool> = (0..modulation.bits_per_symbol())
+            .map(|i| (v >> i) & 1 == 1)
+            .collect();
         let phase = bits_to_phase(modulation, &bits);
-        prop_assert_eq!(phase_to_bits(modulation, phase), bits);
+        assert_eq!(phase_to_bits(modulation, phase), bits);
     }
+}
 
-    #[test]
-    fn psk_tolerates_subthreshold_phase_noise(v in 0usize..16, m in 0usize..3,
-                                              frac in -0.49f64..0.49) {
-        let modulation = TagModulation::ALL[m];
-        let v = v % modulation.order();
-        let bits: Vec<bool> = (0..modulation.bits_per_symbol()).map(|i| (v >> i) & 1 == 1).collect();
+#[test]
+fn psk_tolerates_subthreshold_phase_noise() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x36_0000 + case);
+        let modulation = TagModulation::ALL[rng.below(3) as usize];
+        let v = rng.below(16) as usize % modulation.order();
+        let frac = -0.49 + 0.98 * rng.next_f64();
+        let bits: Vec<bool> = (0..modulation.bits_per_symbol())
+            .map(|i| (v >> i) & 1 == 1)
+            .collect();
         let step = std::f64::consts::TAU / modulation.order() as f64;
         let phase = bits_to_phase(modulation, &bits) + frac * step;
-        prop_assert_eq!(phase_to_bits(modulation, phase), bits);
+        assert_eq!(phase_to_bits(modulation, phase), bits);
     }
+}
 
-    #[test]
-    fn epb_positive_and_static_dominates_at_low_rate(cfg in any_tag_cfg()) {
+#[test]
+fn epb_positive_and_static_dominates_at_low_rate() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x37_0000 + case);
+        let cfg = any_tag_cfg(&mut rng);
         let e = epb_pj(&cfg);
-        prop_assert!(e > 0.0);
+        assert!(e > 0.0);
         // Slowing the same configuration down always costs energy per bit.
         let mut slow = cfg;
         slow.symbol_rate_hz = 10e3;
         let mut fast = cfg;
         fast.symbol_rate_hz = 2.5e6;
-        prop_assert!(epb_pj(&slow) > epb_pj(&fast));
+        assert!(epb_pj(&slow) > epb_pj(&fast));
     }
+}
 
-    #[test]
-    fn repb_of_reference_is_one(_x in 0..1i32) {
-        prop_assert!((repb(&backfi_tag::energy::reference_config()) - 1.0).abs() < 1e-12);
-    }
+#[test]
+fn repb_of_reference_is_one() {
+    assert!((repb(&backfi_tag::energy::reference_config()) - 1.0).abs() < 1e-12);
+}
 
-    #[test]
-    fn max_payload_fits_airtime(cfg in any_tag_cfg(), airtime_us in 100.0f64..8000.0) {
+#[test]
+fn max_payload_fits_airtime() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x38_0000 + case);
+        let cfg = any_tag_cfg(&mut rng);
+        let airtime_us = 100.0 + 7900.0 * rng.next_f64();
         let max = TagFrame::max_payload_bytes(&cfg, airtime_us);
         if max > 0 {
             let symbols = TagFrame::symbol_count(max, &cfg);
-            let avail = ((airtime_us - 16.0 - cfg.preamble_us) * 1e-6 * cfg.symbol_rate_hz) as usize;
-            prop_assert!(symbols <= avail, "{} symbols > {} available", symbols, avail);
+            let avail =
+                ((airtime_us - 16.0 - cfg.preamble_us) * 1e-6 * cfg.symbol_rate_hz) as usize;
+            assert!(symbols <= avail, "{symbols} symbols > {avail} available");
         }
     }
+}
 
-    #[test]
-    fn throughput_identity(cfg in any_tag_cfg()) {
+#[test]
+fn throughput_identity() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0x39_0000 + case);
+        let cfg = any_tag_cfg(&mut rng);
         let t = cfg.throughput_bps();
-        let expect = cfg.symbol_rate_hz
-            * cfg.modulation.bits_per_symbol() as f64
-            * cfg.code_rate.as_f64();
-        prop_assert!((t - expect).abs() < 1e-6);
+        let expect =
+            cfg.symbol_rate_hz * cfg.modulation.bits_per_symbol() as f64 * cfg.code_rate.as_f64();
+        assert!((t - expect).abs() < 1e-6);
     }
 }

@@ -8,7 +8,6 @@
 
 use crate::params::Mcs;
 use backfi_coding::crc::{crc32_append, crc32_check};
-use bytes::{BufMut, Bytes, BytesMut};
 
 /// A 48-bit MAC address.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -45,7 +44,7 @@ pub enum Frame {
         /// Sequence number (12 bits used).
         seq: u16,
         /// Payload bytes.
-        payload: Bytes,
+        payload: Vec<u8>,
     },
 }
 
@@ -56,21 +55,26 @@ const FC_DATA: u16 = 0b0000_1000; // data / data
 impl Frame {
     /// Serialize to a PSDU including the 4-byte FCS.
     pub fn to_psdu(&self) -> Vec<u8> {
-        let mut b = BytesMut::new();
+        let mut b: Vec<u8> = Vec::new();
         match self {
             Frame::CtsToSelf { addr, duration_us } => {
-                b.put_u16_le(FC_CTS);
-                b.put_u16_le(*duration_us);
-                b.put_slice(&addr.0);
+                b.extend_from_slice(&FC_CTS.to_le_bytes());
+                b.extend_from_slice(&duration_us.to_le_bytes());
+                b.extend_from_slice(&addr.0);
             }
-            Frame::Data { dst, src, seq, payload } => {
-                b.put_u16_le(FC_DATA);
-                b.put_u16_le(0); // duration handled by NAV of CTS
-                b.put_slice(&dst.0);
-                b.put_slice(&src.0);
-                b.put_slice(&MacAddr::BROADCAST.0); // BSSID placeholder
-                b.put_u16_le(seq << 4);
-                b.put_slice(payload);
+            Frame::Data {
+                dst,
+                src,
+                seq,
+                payload,
+            } => {
+                b.extend_from_slice(&FC_DATA.to_le_bytes());
+                b.extend_from_slice(&0u16.to_le_bytes()); // duration handled by NAV of CTS
+                b.extend_from_slice(&dst.0);
+                b.extend_from_slice(&src.0);
+                b.extend_from_slice(&MacAddr::BROADCAST.0); // BSSID placeholder
+                b.extend_from_slice(&(seq << 4).to_le_bytes());
+                b.extend_from_slice(payload);
             }
         }
         crc32_append(&b)
@@ -95,7 +99,10 @@ impl Frame {
                 let duration_us = u16::from_le_bytes([body[2], body[3]]);
                 let mut addr = [0u8; 6];
                 addr.copy_from_slice(&body[4..10]);
-                Some(Frame::CtsToSelf { addr: MacAddr(addr), duration_us })
+                Some(Frame::CtsToSelf {
+                    addr: MacAddr(addr),
+                    duration_us,
+                })
             }
             FC_DATA => {
                 if body.len() < 24 {
@@ -110,7 +117,7 @@ impl Frame {
                     dst: MacAddr(dst),
                     src: MacAddr(src),
                     seq,
-                    payload: Bytes::copy_from_slice(&body[24..]),
+                    payload: body[24..].to_vec(),
                 })
             }
             _ => None,
@@ -148,7 +155,10 @@ mod tests {
 
     #[test]
     fn cts_roundtrip() {
-        let f = Frame::CtsToSelf { addr: MacAddr::local(7), duration_us: 1234 };
+        let f = Frame::CtsToSelf {
+            addr: MacAddr::local(7),
+            duration_us: 1234,
+        };
         let psdu = f.to_psdu();
         assert_eq!(psdu.len(), 14);
         assert_eq!(Frame::from_psdu(&psdu), Some(f));
@@ -160,7 +170,7 @@ mod tests {
             dst: MacAddr::local(1),
             src: MacAddr::local(2),
             seq: 0x123,
-            payload: Bytes::from_static(b"hello backscatter world"),
+            payload: b"hello backscatter world".to_vec(),
         };
         let psdu = f.to_psdu();
         assert_eq!(Frame::from_psdu(&psdu), Some(f));
@@ -172,7 +182,7 @@ mod tests {
             dst: MacAddr::local(1),
             src: MacAddr::local(2),
             seq: 1,
-            payload: Bytes::from_static(&[0u8; 64]),
+            payload: vec![0u8; 64],
         };
         let mut psdu = f.to_psdu();
         for i in [0usize, 10, 30, psdu.len() - 1] {
@@ -202,7 +212,11 @@ mod tests {
     #[test]
     fn truncated_frames_are_rejected() {
         assert_eq!(Frame::from_psdu(&[1, 2, 3]), None);
-        let good = Frame::CtsToSelf { addr: MacAddr::local(0), duration_us: 1 }.to_psdu();
+        let good = Frame::CtsToSelf {
+            addr: MacAddr::local(0),
+            duration_us: 1,
+        }
+        .to_psdu();
         assert_eq!(Frame::from_psdu(&good[..10]), None);
     }
 }

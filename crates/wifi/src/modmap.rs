@@ -64,7 +64,9 @@ pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Complex {
 pub fn map_block(modulation: Modulation, bits: &[bool]) -> Vec<Complex> {
     let n = modulation.bits_per_subcarrier();
     assert_eq!(bits.len() % n, 0, "bit block not a multiple of {n}");
-    bits.chunks_exact(n).map(|c| map_bits(modulation, c)).collect()
+    bits.chunks_exact(n)
+        .map(|c| map_bits(modulation, c))
+        .collect()
 }
 
 /// All constellation points of a modulation together with their bit labels,
@@ -153,9 +155,7 @@ mod tests {
     #[test]
     fn gray_property_adjacent_levels_differ_one_bit() {
         // Sort 16-QAM I-axis levels; adjacent levels must differ in one bit.
-        let mut lv: Vec<(i32, usize)> = (0..4)
-            .map(|v| (LEVELS4[v] as i32, v))
-            .collect();
+        let mut lv: Vec<(i32, usize)> = (0..4).map(|v| (LEVELS4[v] as i32, v)).collect();
         lv.sort();
         for w in lv.windows(2) {
             let d = (w[0].1 ^ w[1].1).count_ones();

@@ -41,9 +41,11 @@ pub fn stf_frequency_domain() -> Vec<Complex> {
 /// (the ±1 sequence on subcarriers −26…26, DC = 0).
 pub fn ltf_frequency_domain() -> Vec<Complex> {
     const L: [i8; 53] = [
-        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+        1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
+        1, // -26..-1
         0, // DC
-        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+        1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1,
+        1, // 1..26
     ];
     let mut bins = vec![Complex::ZERO; 64];
     for (i, &v) in L.iter().enumerate() {

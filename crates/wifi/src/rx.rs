@@ -154,7 +154,8 @@ impl WifiReceiver {
         if sig_start + OFDM::SYMBOL > x.len() {
             return Err(RxError::Truncated);
         }
-        let sig_llr = self.demap_symbol(x, sig_start, 0, &sync.channel, noise_var, Modulation::Bpsk);
+        let sig_llr =
+            self.demap_symbol(x, sig_start, 0, &sync.channel, noise_var, Modulation::Bpsk);
         let sig_deil = Interleaver::new(48, 1).deinterleave(&sig_llr);
         let signal = Signal::decode_soft(&sig_deil).ok_or(RxError::BadSignalField)?;
         let mcs = signal.mcs;
@@ -377,17 +378,22 @@ mod tests {
     use super::*;
     use crate::tx::WifiTransmitter;
     use backfi_dsp::noise::add_noise;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use backfi_dsp::rng::SplitMix64;
 
-    fn loopback(mcs: Mcs, len: usize, noise: f64, cfo: f64, pad: usize) -> Result<RxPacket, RxError> {
+    fn loopback(
+        mcs: Mcs,
+        len: usize,
+        noise: f64,
+        cfo: f64,
+        pad: usize,
+    ) -> Result<RxPacket, RxError> {
         let tx = WifiTransmitter::new();
         let psdu: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
         let pkt = tx.transmit(&psdu, mcs, 0x5D);
         let mut buf = vec![Complex::ZERO; pad];
         buf.extend_from_slice(&pkt.samples);
-        buf.extend(std::iter::repeat(Complex::ZERO).take(200));
-        let mut rng = StdRng::seed_from_u64(99);
+        buf.extend(std::iter::repeat_n(Complex::ZERO, 200));
+        let mut rng = SplitMix64::new(99);
         add_noise(&mut rng, &mut buf, noise);
         if cfo != 0.0 {
             apply_cfo(&mut buf, cfo);
@@ -440,7 +446,7 @@ mod tests {
 
     #[test]
     fn noise_only_is_not_detected() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::new(5);
         let mut buf = vec![Complex::ZERO; 4000];
         add_noise(&mut rng, &mut buf, 1.0);
         let rx = WifiReceiver::default();
@@ -462,9 +468,9 @@ mod tests {
     #[test]
     fn probe_reports_high_snr_on_clean_signal() {
         let tx = WifiTransmitter::new();
-        let pkt = tx.transmit(&vec![1u8; 100], Mcs::Mbps24, 0x33);
+        let pkt = tx.transmit(&[1u8; 100], Mcs::Mbps24, 0x33);
         let mut buf = pkt.samples.clone();
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SplitMix64::new(8);
         add_noise(&mut rng, &mut buf, 1e-4);
         let rx = WifiReceiver::default();
         let probe = rx.probe(&buf).expect("probe");
@@ -492,7 +498,7 @@ mod tests {
             Complex::from_polar(0.4, -1.1),
         ];
         let mut buf = backfi_dsp::fir::filter(&h, &pkt.samples);
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = SplitMix64::new(17);
         add_noise(&mut rng, &mut buf, 1e-4);
         let rx = WifiReceiver::default();
         let got = rx.receive(&buf).expect("decode through multipath");

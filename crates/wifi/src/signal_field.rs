@@ -20,7 +20,10 @@ impl Signal {
     /// # Panics
     /// Panics if `length` doesn't fit in 12 bits or is zero.
     pub fn to_bits(self) -> [bool; 24] {
-        assert!(self.length > 0 && self.length < 4096, "length must be 1..=4095");
+        assert!(
+            self.length > 0 && self.length < 4096,
+            "length must be 1..=4095"
+        );
         let mut bits = [false; 24];
         bits[..4].copy_from_slice(&self.mcs.rate_bits());
         // bits[4] reserved = 0
@@ -29,7 +32,7 @@ impl Signal {
         }
         let parity = bits[..17].iter().filter(|&&b| b).count() % 2 == 1;
         bits[17] = parity; // even parity over bits 0..17
-        // bits 18..24 tail zeros
+                           // bits 18..24 tail zeros
         bits
     }
 
@@ -99,7 +102,10 @@ mod tests {
 
     #[test]
     fn parity_detects_single_flip() {
-        let s = Signal { mcs: Mcs::Mbps24, length: 1000 };
+        let s = Signal {
+            mcs: Mcs::Mbps24,
+            length: 1000,
+        };
         let bits = s.to_bits();
         for i in 0..18 {
             let mut bad = bits;
@@ -110,7 +116,10 @@ mod tests {
 
     #[test]
     fn coded_roundtrip() {
-        let s = Signal { mcs: Mcs::Mbps54, length: 1234 };
+        let s = Signal {
+            mcs: Mcs::Mbps54,
+            length: 1234,
+        };
         let coded = s.encode();
         assert_eq!(coded.len(), 48);
         let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
@@ -119,7 +128,10 @@ mod tests {
 
     #[test]
     fn coded_roundtrip_with_errors() {
-        let s = Signal { mcs: Mcs::Mbps6, length: 40 };
+        let s = Signal {
+            mcs: Mcs::Mbps6,
+            length: 40,
+        };
         let coded = s.encode();
         let mut soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
         soft[5] = -soft[5];
@@ -129,7 +141,11 @@ mod tests {
 
     #[test]
     fn rejects_zero_length() {
-        let mut bits = Signal { mcs: Mcs::Mbps6, length: 1 }.to_bits();
+        let mut bits = Signal {
+            mcs: Mcs::Mbps6,
+            length: 1,
+        }
+        .to_bits();
         // clear the length LSB -> length 0, fix parity by flipping reserved?
         bits[5] = false;
         bits[17] = !bits[17]; // keep parity even

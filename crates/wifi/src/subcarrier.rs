@@ -117,9 +117,7 @@ mod tests {
     #[test]
     fn assemble_disassemble_roundtrip() {
         let polarity = pilot_polarity_sequence();
-        let data: Vec<Complex> = (0..48)
-            .map(|i| Complex::exp_j(i as f64 * 0.37))
-            .collect();
+        let data: Vec<Complex> = (0..48).map(|i| Complex::exp_j(i as f64 * 0.37)).collect();
         let bins = assemble_symbol(&data, 5, &polarity);
         let (d2, pilots) = disassemble_symbol(&bins);
         assert_eq!(d2, data);
@@ -135,6 +133,7 @@ mod tests {
         let polarity = pilot_polarity_sequence();
         let data = vec![Complex::ONE; 48];
         let bins = assemble_symbol(&data, 0, &polarity);
+        #[allow(clippy::needless_range_loop)] // k is the FFT bin number
         for k in 27..=37 {
             assert!(bins[k].abs() < 1e-12, "guard bin {k} loaded");
         }

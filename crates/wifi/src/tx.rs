@@ -86,7 +86,7 @@ impl WifiTransmitter {
         let mut bits = vec![false; 16];
         bits.extend(bytes_to_bits_lsb(psdu));
         let tail_at = bits.len();
-        bits.extend(std::iter::repeat(false).take(6));
+        bits.extend(std::iter::repeat_n(false, 6));
         let total = nsym * dbps;
         bits.resize(total, false);
 
@@ -109,7 +109,11 @@ impl WifiTransmitter {
         let mut samples = self.preamble.clone();
 
         // SIGNAL symbol (symbol index 0).
-        let sig = Signal { mcs, length: psdu.len() }.encode();
+        let sig = Signal {
+            mcs,
+            length: psdu.len(),
+        }
+        .encode();
         let sig_il = Interleaver::new(48, 1).interleave(&sig);
         let sig_pts = map_block(crate::params::Modulation::Bpsk, &sig_il);
         self.push_symbol(&mut samples, &sig_pts, 0);
@@ -156,7 +160,7 @@ mod tests {
     fn packet_length_matches_airtime_formula() {
         let tx = WifiTransmitter::new();
         for mcs in Mcs::ALL {
-            let pkt = tx.transmit(&vec![0xA5; 100], mcs, 0x5D);
+            let pkt = tx.transmit(&[0xA5; 100], mcs, 0x5D);
             let expect_us = mcs.packet_airtime_us(100);
             assert!(
                 (pkt.airtime_us() - expect_us).abs() < 1e-9,
@@ -188,8 +192,8 @@ mod tests {
     #[test]
     fn different_seeds_give_different_waveforms() {
         let tx = WifiTransmitter::new();
-        let a = tx.transmit(&vec![0u8; 100], Mcs::Mbps6, 0x01);
-        let b = tx.transmit(&vec![0u8; 100], Mcs::Mbps6, 0x55);
+        let a = tx.transmit(&[0u8; 100], Mcs::Mbps6, 0x01);
+        let b = tx.transmit(&[0u8; 100], Mcs::Mbps6, 0x55);
         assert_eq!(a.samples.len(), b.samples.len());
         let diff: f64 = a
             .samples
@@ -207,6 +211,7 @@ mod tests {
         let pre = full_preamble();
         // Same shape up to the power normalization factor.
         let k = pkt.power_scale;
+        #[allow(clippy::needless_range_loop)] // compares two buffers at index i
         for i in 0..pre.len() {
             assert!((pkt.samples[i] - pre[i] * k).abs() < 1e-9, "sample {i}");
         }

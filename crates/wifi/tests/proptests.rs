@@ -1,94 +1,131 @@
-//! Property-based tests of the 802.11 PHY: arbitrary PSDUs must survive the
+//! Randomized tests of the 802.11 PHY: arbitrary PSDUs must survive the
 //! TX→RX loop at every rate, and the frame layer must reject corruption.
+//!
+//! Formerly `proptest`-based; now driven by the in-tree [`SplitMix64`]
+//! generator so the suite builds offline and every case is reproducible from
+//! its loop index.
 
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
 use backfi_wifi::mac::{Frame, MacAddr};
 use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
-use bytes::Bytes;
-use proptest::prelude::*;
 
-fn any_mcs() -> impl Strategy<Value = Mcs> {
-    (0usize..8).prop_map(|i| Mcs::ALL[i])
+fn byte_vec(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
-proptest! {
-    // The loopback cases are heavier; keep the case count modest.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn any_mcs(rng: &mut SplitMix64) -> Mcs {
+    Mcs::ALL[rng.below(8) as usize]
+}
 
-    #[test]
-    fn clean_loopback_any_psdu(psdu in proptest::collection::vec(any::<u8>(), 1..400),
-                               mcs in any_mcs(), seed in 1u8..=0x7F) {
+#[test]
+fn clean_loopback_any_psdu() {
+    // The loopback cases are heavier; keep the case count modest.
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x21_0000 + case);
+        let n = 1 + rng.below(399) as usize;
+        let psdu = byte_vec(&mut rng, n);
+        let mcs = any_mcs(&mut rng);
+        let seed = 1 + rng.below(0x7F) as u8;
         let tx = WifiTransmitter::new();
         let pkt = tx.transmit(&psdu, mcs, seed);
         let mut buf = vec![Complex::ZERO; 80];
         buf.extend_from_slice(&pkt.samples);
-        buf.extend(std::iter::repeat(Complex::ZERO).take(120));
+        buf.extend(std::iter::repeat_n(Complex::ZERO, 120));
         let rx = WifiReceiver::default();
         let got = rx.receive(&buf).expect("clean loopback must decode");
-        prop_assert_eq!(got.mcs, mcs);
-        prop_assert_eq!(got.psdu, psdu);
+        assert_eq!(got.mcs, mcs);
+        assert_eq!(got.psdu, psdu);
     }
+}
 
-    #[test]
-    fn signal_field_roundtrip(mcs in any_mcs(), len in 1usize..4096) {
-        use backfi_wifi::signal_field::Signal;
+#[test]
+fn signal_field_roundtrip() {
+    use backfi_wifi::signal_field::Signal;
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x22_0000 + case);
+        let mcs = any_mcs(&mut rng);
+        let len = 1 + rng.below(4095) as usize;
         let s = Signal { mcs, length: len };
-        prop_assert_eq!(Signal::from_bits(&s.to_bits()), Some(s));
+        assert_eq!(Signal::from_bits(&s.to_bits()), Some(s));
     }
+}
 
-    #[test]
-    fn mac_frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256),
-                           seq in 0u16..4096, d in any::<u16>(), s in any::<u16>()) {
+#[test]
+fn mac_frame_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x23_0000 + case);
+        let n = rng.below(256) as usize;
+        let payload = byte_vec(&mut rng, n);
         let f = Frame::Data {
-            dst: MacAddr::local(d),
-            src: MacAddr::local(s),
-            seq,
-            payload: Bytes::from(payload),
+            dst: MacAddr::local(rng.next_u64() as u16),
+            src: MacAddr::local(rng.next_u64() as u16),
+            seq: rng.below(4096) as u16,
+            payload,
         };
         let psdu = f.to_psdu();
-        prop_assert_eq!(Frame::from_psdu(&psdu), Some(f));
+        assert_eq!(Frame::from_psdu(&psdu), Some(f));
     }
+}
 
-    #[test]
-    fn mac_rejects_any_corruption(payload in proptest::collection::vec(any::<u8>(), 0..64),
-                                  byte in 0usize..96, flip in 1u8..=255) {
+#[test]
+fn mac_rejects_any_corruption() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x24_0000 + case);
+        let n = rng.below(64) as usize;
+        let payload = byte_vec(&mut rng, n);
         let f = Frame::Data {
             dst: MacAddr::local(1),
             src: MacAddr::local(2),
             seq: 7,
-            payload: Bytes::from(payload),
+            payload,
         };
         let mut psdu = f.to_psdu();
-        let i = byte % psdu.len();
+        let i = rng.below(psdu.len() as u64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         psdu[i] ^= flip;
-        prop_assert_eq!(Frame::from_psdu(&psdu), None);
+        assert_eq!(Frame::from_psdu(&psdu), None);
     }
+}
 
-    #[test]
-    fn airtime_monotone_in_payload(mcs in any_mcs(), a in 1usize..2000, b in 1usize..2000) {
+#[test]
+fn airtime_monotone_in_payload() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x25_0000 + case);
+        let mcs = any_mcs(&mut rng);
+        let a = 1 + rng.below(1999) as usize;
+        let b = 1 + rng.below(1999) as usize;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(mcs.packet_airtime_us(lo) <= mcs.packet_airtime_us(hi));
+        assert!(mcs.packet_airtime_us(lo) <= mcs.packet_airtime_us(hi));
     }
+}
 
-    #[test]
-    fn faster_mcs_shorter_airtime(len in 50usize..2000) {
+#[test]
+fn faster_mcs_shorter_airtime() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x26_0000 + case);
+        let len = 50 + rng.below(1950) as usize;
         for pair in Mcs::ALL.windows(2) {
-            prop_assert!(pair[1].packet_airtime_us(len) <= pair[0].packet_airtime_us(len));
+            assert!(pair[1].packet_airtime_us(len) <= pair[0].packet_airtime_us(len));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn constellation_mapping_roundtrip(bits in proptest::collection::vec(any::<bool>(), 6..7),
-                                       m in 0usize..4) {
-        use backfi_wifi::modmap::{demap_hard, map_bits};
-        use backfi_wifi::params::Modulation;
-        let modulation = [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][m];
+#[test]
+fn constellation_mapping_roundtrip() {
+    use backfi_wifi::modmap::{demap_hard, map_bits};
+    use backfi_wifi::params::Modulation;
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x27_0000 + case);
+        let bits: Vec<bool> = (0..6).map(|_| rng.next_u64() & 1 == 1).collect();
+        let modulation = [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ][rng.below(4) as usize];
         let n = modulation.bits_per_subcarrier();
         let point = map_bits(modulation, &bits[..n]);
-        prop_assert_eq!(demap_hard(modulation, point), bits[..n].to_vec());
+        assert_eq!(demap_hard(modulation, point), bits[..n].to_vec());
     }
 }

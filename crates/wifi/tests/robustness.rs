@@ -3,27 +3,19 @@
 //! coexistence experiments run on top of it.
 
 use backfi_dsp::noise::add_noise;
+use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
 use backfi_wifi::rx::apply_cfo;
 use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn loop_once(
-    mcs: Mcs,
-    noise: f64,
-    cfo_hz: f64,
-    pad: usize,
-    seed: u64,
-    taps: &[Complex],
-) -> bool {
+fn loop_once(mcs: Mcs, noise: f64, cfo_hz: f64, pad: usize, seed: u64, taps: &[Complex]) -> bool {
     let tx = WifiTransmitter::new();
     let psdu: Vec<u8> = (0..300).map(|i| (i * 31 + seed as usize) as u8).collect();
     let pkt = tx.transmit(&psdu, mcs, ((seed as u8) & 0x7E) | 1);
     let mut buf = vec![Complex::ZERO; pad];
     buf.extend(backfi_dsp::fir::filter(taps, &pkt.samples));
-    buf.extend(std::iter::repeat(Complex::ZERO).take(160));
-    let mut rng = StdRng::seed_from_u64(seed);
+    buf.extend(std::iter::repeat_n(Complex::ZERO, 160));
+    let mut rng = SplitMix64::new(seed);
     add_noise(&mut rng, &mut buf, noise);
     if cfo_hz != 0.0 {
         apply_cfo(&mut buf, cfo_hz);
@@ -53,22 +45,32 @@ fn per_is_monotone_in_snr() {
     // Sweep noise power at 24 Mbps; success must not *improve* as noise grows.
     let mut successes = Vec::new();
     for noise in [1e-4, 3e-2, 1e-1, 0.5] {
-        let ok = (0..4).filter(|&s| loop_once(Mcs::Mbps24, noise, 0.0, 50, s, FLAT)).count();
+        let ok = (0..4)
+            .filter(|&s| loop_once(Mcs::Mbps24, noise, 0.0, 50, s, FLAT))
+            .count();
         successes.push(ok);
     }
     for w in successes.windows(2) {
         assert!(w[1] <= w[0], "PER not monotone: {successes:?}");
     }
     assert_eq!(successes[0], 4, "clean case must always decode");
-    assert_eq!(*successes.last().unwrap(), 0, "3 dB SNR must fail 16-QAM 1/2");
+    assert_eq!(
+        *successes.last().unwrap(),
+        0,
+        "3 dB SNR must fail 16-QAM 1/2"
+    );
 }
 
 #[test]
 fn higher_mcs_needs_more_snr() {
     // At a noise level where 6 Mbps sails, 54 Mbps must struggle.
     let noise = 0.05; // ≈13 dB SNR
-    let ok6 = (0..4).filter(|&s| loop_once(Mcs::Mbps6, noise, 0.0, 60, s, FLAT)).count();
-    let ok54 = (0..4).filter(|&s| loop_once(Mcs::Mbps54, noise, 0.0, 60, s, FLAT)).count();
+    let ok6 = (0..4)
+        .filter(|&s| loop_once(Mcs::Mbps6, noise, 0.0, 60, s, FLAT))
+        .count();
+    let ok54 = (0..4)
+        .filter(|&s| loop_once(Mcs::Mbps54, noise, 0.0, 60, s, FLAT))
+        .count();
     assert_eq!(ok6, 4, "6 Mbps should survive 13 dB");
     assert_eq!(ok54, 0, "54 Mbps needs ~24 dB");
 }
@@ -107,14 +109,16 @@ fn back_to_back_packets_decode_first() {
     let pb = tx.transmit(&b, Mcs::Mbps12, 0x33);
     let mut buf = vec![Complex::ZERO; 64];
     buf.extend_from_slice(&pa.samples);
-    buf.extend(std::iter::repeat(Complex::ZERO).take(320));
+    buf.extend(std::iter::repeat_n(Complex::ZERO, 320));
     buf.extend_from_slice(&pb.samples);
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SplitMix64::new(1);
     add_noise(&mut rng, &mut buf, 1e-4);
     let rx = WifiReceiver::default();
     let got = rx.receive(&buf).expect("first packet");
     assert_eq!(got.psdu, a);
     // …and the second decodes from past the first.
-    let got2 = rx.receive(&buf[got.start + pa.samples.len()..]).expect("second packet");
+    let got2 = rx
+        .receive(&buf[got.start + pa.samples.len()..])
+        .expect("second packet");
     assert_eq!(got2.psdu, b);
 }

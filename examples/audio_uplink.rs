@@ -19,7 +19,10 @@ fn main() {
     let needed = audio_rate_bps * duty_margin;
 
     for &distance in &[1.0, 4.0] {
-        println!("microphone at {distance} m (needs {:.0} kbps of link rate):", needed / 1e3);
+        println!(
+            "microphone at {distance} m (needs {:.0} kbps of link rate):",
+            needed / 1e3
+        );
         let mut base = LinkConfig::at_distance(distance);
         base.excitation.wifi_payload_bytes = 1500;
 
@@ -32,7 +35,10 @@ fn main() {
             Some(cfg) => {
                 println!("  selected        : {}", cfg.label());
                 println!("  link throughput : {:.2} Mbps", cfg.throughput_bps() / 1e6);
-                println!("  REPB            : {:.3} (ref = BPSK 1/2 @ 1 MSPS)", repb(&cfg));
+                println!(
+                    "  REPB            : {:.3} (ref = BPSK 1/2 @ 1 MSPS)",
+                    repb(&cfg)
+                );
                 let effective = cfg.throughput_bps() / duty_margin;
                 println!(
                     "  audio margin    : {:.1}x the 64 kbps stream",

@@ -17,7 +17,10 @@ fn main() {
     println!("BackFi quickstart");
     println!("  tag distance      : {} m", cfg.distance_m);
     println!("  tag configuration : {}", cfg.tag.label());
-    println!("  uplink throughput : {:.2} Mbps", cfg.tag.throughput_bps() / 1e6);
+    println!(
+        "  uplink throughput : {:.2} Mbps",
+        cfg.tag.throughput_bps() / 1e6
+    );
     println!(
         "  excitation        : {} byte WiFi frame at {}",
         cfg.excitation.wifi_payload_bytes,

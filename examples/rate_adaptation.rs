@@ -34,10 +34,15 @@ fn main() {
                 cfg.throughput_bps() / 1e6,
                 repb(&cfg)
             ),
-            None => println!("{d:>6} m | {:>28} | {:>10} | {:>6}", "out of range", "-", "-"),
+            None => println!(
+                "{d:>6} m | {:>28} | {:>10} | {:>6}",
+                "out of range", "-", "-"
+            ),
         }
     }
 
-    println!("\nok: denser modulations and faster switching near the AP, \
-              robust slow BPSK at the edge.");
+    println!(
+        "\nok: denser modulations and faster switching near the AP, \
+              robust slow BPSK at the edge."
+    );
 }

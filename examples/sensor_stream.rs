@@ -59,6 +59,9 @@ fn main() {
         energy_pj / frames as f64,
         (energy_pj / frames as f64) / 100.0
     );
-    assert!(delivered as f64 >= frames as f64 * 0.8, "sensor stream too lossy");
+    assert!(
+        delivered as f64 >= frames as f64 * 0.8,
+        "sensor stream too lossy"
+    );
     println!("\nok: telemetry delivered on harvested-power budgets.");
 }

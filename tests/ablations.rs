@@ -87,7 +87,10 @@ fn coding_rescues_marginal_links() {
             break;
         }
     }
-    assert!(found, "expected a range where FEC visibly repairs symbol errors");
+    assert!(
+        found,
+        "expected a range where FEC visibly repairs symbol errors"
+    );
 }
 
 #[test]

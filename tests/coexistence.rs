@@ -11,8 +11,7 @@ use backfi::core::excitation::{Excitation, ExcitationConfig};
 use backfi::prelude::*;
 use backfi_dsp::fir::filter;
 use backfi_dsp::noise::add_noise;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use backfi_dsp::rng::SplitMix64;
 
 /// Build the shared scene: the AP's excitation, the tag's reaction to it,
 /// and the client's received signal (direct + tag-scattered + noise).
@@ -22,7 +21,7 @@ fn client_rx(tag_active: bool, seed: u64) -> (Vec<backfi::dsp::Complex>, Vec<u8>
         wifi_payload_bytes: 800,
         ..Default::default()
     });
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
 
     // Tag at 0.5 m reacts to the forward signal.
     let a_tx = budget.tx_power().sqrt();

@@ -38,6 +38,7 @@ fn tag_follows_the_fig4_timeline() {
     );
 
     // 32 µs of ±1 preamble chips follow.
+    #[allow(clippy::needless_range_loop)] // i names the absolute sample index
     for i in first..first + backfi_dsp::us_to_samples(32.0) {
         assert!(gamma[i].im.abs() < 1e-9, "preamble must be BPSK chips");
     }
@@ -53,7 +54,10 @@ fn per_tag_addressing_selects_exactly_one_tag() {
 
     let (_, mut tag_wrong, incident2) = scene(4, 3);
     let g2 = tag_wrong.react(&incident2);
-    assert!(g2.iter().all(|v| v.abs() == 0.0), "other tags must stay silent");
+    assert!(
+        g2.iter().all(|v| v.abs() == 0.0),
+        "other tags must stay silent"
+    );
     assert_eq!(tag_wrong.state(), TagState::Listening);
 }
 
@@ -83,7 +87,10 @@ fn silent_window_is_truly_silent() {
     let gamma = tag.react(&incident);
     let silent = exc.detect_end..exc.detect_end + backfi_dsp::us_to_samples(16.0) - 20;
     for i in silent {
-        assert!(gamma[i].abs() == 0.0, "tag reflected during the silent window at {i}");
+        assert!(
+            gamma[i].abs() == 0.0,
+            "tag reflected during the silent window at {i}"
+        );
     }
 }
 
