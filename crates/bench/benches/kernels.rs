@@ -3,85 +3,239 @@
 //! bench framework in the offline build): each kernel is warmed up, then
 //! timed over enough iterations to smooth scheduler noise, and reported as
 //! ns/iter on stdout.
+//!
+//! Besides the human-readable lines, every point lands in
+//! `BENCH_kernels.json` at the repo root via [`BenchReport`] — the
+//! machine-readable perf trajectory diffed across PRs. The direct-vs-FFT and
+//! old-vs-new pairs double as the empirical record behind the dispatch
+//! crossover constants in `backfi_dsp::fir` (see DESIGN.md §8).
+//!
+//! Pass `--short` for the CI smoke run (fewer iterations, same size grid).
 
-use backfi_bench::timing::bench;
+use backfi_bench::timing::{bench, BenchReport};
+use backfi_dsp::fastconv;
 use backfi_dsp::fft::FftPlan;
-use backfi_dsp::fir::filter;
+use backfi_dsp::fir::{self, filter, ConvMode};
 use backfi_dsp::noise::cgauss_vec;
 use backfi_dsp::rng::SplitMix64;
 use backfi_dsp::Complex;
-use backfi_sic::estimator::estimate_fir;
+use backfi_sic::estimator::{estimate_fir, estimate_fir_direct};
 use std::hint::black_box;
 
-fn bench_fft() {
-    let plan = FftPlan::new(64);
+/// Scale an iteration count down for `--short` CI smoke runs.
+fn iters(full: u32, short: bool) -> u32 {
+    if short {
+        (full / 10).max(2)
+    } else {
+        full
+    }
+}
+
+/// Direct-vs-FFT convolution over a size grid straddling the dispatch
+/// crossover. The (8192, 256) point is the acceptance benchmark: the FFT
+/// path must beat the direct form by ≥ 3× there.
+fn bench_convolve_grid(rep: &mut BenchReport, short: bool) {
+    let mut rng = SplitMix64::new(0x11);
+    // (n, l, iters): sizes below, at, and far past the crossover.
+    const GRID: &[(usize, usize, u32)] = &[
+        (2048, 48, 200),
+        (4096, 48, 100),
+        (4096, 128, 60),
+        (8192, 256, 30),
+        (16384, 512, 10),
+    ];
+    for &(n, l, it) in GRID {
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let h = cgauss_vec(&mut rng, l, 1.0);
+        let it = iters(it, short);
+        rep.measure("convolve", "direct", n, l, n, it, || {
+            black_box(fir::convolve_direct(black_box(&x), black_box(&h), ConvMode::Full)[0]);
+        });
+        rep.measure("convolve", "fft", n, l, n, it, || {
+            black_box(fastconv::convolve_full_fft(black_box(&x), black_box(&h))[0]);
+        });
+        rep.measure("convolve", "auto", n, l, n, it, || {
+            black_box(fir::convolve(black_box(&x), black_box(&h), ConvMode::Full)[0]);
+        });
+    }
+}
+
+/// Direct-vs-FFT cross-correlation at the template sizes the receiver uses
+/// (64-tap LTF) and beyond.
+fn bench_xcorr_grid(rep: &mut BenchReport, short: bool) {
+    let mut rng = SplitMix64::new(0x22);
+    const GRID: &[(usize, usize, u32)] = &[(4096, 64, 100), (8192, 128, 40), (16384, 256, 10)];
+    for &(n, l, it) in GRID {
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let t = cgauss_vec(&mut rng, l, 1.0);
+        let it = iters(it, short);
+        rep.measure("xcorr", "direct", n, l, n, it, || {
+            black_box(backfi_dsp::correlate::xcorr_direct(black_box(&x), black_box(&t))[0]);
+        });
+        rep.measure("xcorr", "fft", n, l, n, it, || {
+            black_box(fastconv::xcorr_fft(black_box(&x), black_box(&t))[0]);
+        });
+        rep.measure("xcorr", "auto", n, l, n, it, || {
+            black_box(backfi_dsp::correlate::xcorr(black_box(&x), black_box(&t))[0]);
+        });
+    }
+}
+
+/// Old-vs-new FIR least-squares estimator. The (4096, 64) point is the
+/// acceptance benchmark: the Toeplitz prefix-sum build must beat the direct
+/// O(N·taps²) build by ≥ 3×.
+fn bench_estimator_grid(rep: &mut BenchReport, short: bool) {
+    let mut rng = SplitMix64::new(0x33);
+    const GRID: &[(usize, usize, u32)] = &[(640, 6, 200), (2048, 28, 30), (4096, 64, 10)];
+    for &(n, taps, it) in GRID {
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let h: Vec<Complex> = cgauss_vec(&mut rng, taps.min(8), 0.01);
+        let y = filter(&h, &x);
+        let it = iters(it, short);
+        rep.measure("estimate_fir", "direct", n, taps, n, it, || {
+            black_box(estimate_fir_direct(&x, &y, taps, 1e-9).map(|v| v.len()));
+        });
+        rep.measure("estimate_fir", "toeplitz", n, taps, n, it, || {
+            black_box(estimate_fir(&x, &y, taps, 1e-9).map(|v| v.len()));
+        });
+    }
+}
+
+/// Plan-cache effect: fresh-plan FFT vs cached-plan FFT at the OFDM size.
+fn bench_fft(rep: &mut BenchReport, short: bool) {
     let mut rng = SplitMix64::new(1);
     let buf = cgauss_vec(&mut rng, 64, 1.0);
-    bench("fft64_forward", 2000, || {
+    let it = iters(2000, short);
+    rep.measure("fft64", "fresh_plan", 64, 0, 64, it, || {
+        let plan = FftPlan::new(64);
         let mut x = buf.clone();
         plan.forward(black_box(&mut x));
         black_box(x[0]);
     });
+    rep.measure("fft64", "cached_plan", 64, 0, 64, it, || {
+        black_box(backfi_dsp::fft::fft(black_box(&buf))[0]);
+    });
 }
 
-fn bench_fir() {
+/// The pipeline-shaped kernels kept from the original bench set (short
+/// kernels stay on the exact direct path by design).
+fn bench_pipeline_kernels(rep: &mut BenchReport, short: bool) {
     let mut rng = SplitMix64::new(2);
     let x = cgauss_vec(&mut rng, 20_000, 1.0);
     let h = cgauss_vec(&mut rng, 24, 0.01);
-    bench("fir_filter_20k_x_24taps", 50, || {
-        black_box(filter(black_box(&h), black_box(&x))[0]);
-    });
-}
+    rep.measure(
+        "fir_filter",
+        "auto",
+        20_000,
+        24,
+        20_000,
+        iters(50, short),
+        || {
+            black_box(filter(black_box(&h), black_box(&x))[0]);
+        },
+    );
 
-fn bench_xcorr() {
     let mut rng = SplitMix64::new(3);
     let x = cgauss_vec(&mut rng, 4_000, 1.0);
     let t = cgauss_vec(&mut rng, 64, 1.0);
-    bench("xcorr_normalized_4k_x_64", 50, || {
-        black_box(backfi_dsp::correlate::xcorr_normalized(&x, &t)[0]);
-    });
-}
+    rep.measure(
+        "xcorr_normalized",
+        "auto",
+        4_000,
+        64,
+        4_000,
+        iters(50, short),
+        || {
+            black_box(backfi_dsp::correlate::xcorr_normalized(&x, &t)[0]);
+        },
+    );
 
-fn bench_viterbi() {
     let bits: Vec<bool> = (0..1000).map(|i| (i * 31) % 7 > 2).collect();
     let mut enc = backfi_coding::ConvEncoder::ieee80211();
     let coded = enc.encode_terminated(&bits);
     let soft: Vec<f64> = coded.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
     let dec = backfi_coding::ViterbiDecoder::ieee80211();
-    bench("viterbi_k7_1000bits", 50, || {
-        black_box(dec.decode_soft_terminated(black_box(&soft)).len());
-    });
+    rep.measure(
+        "viterbi_k7",
+        "auto",
+        1000,
+        0,
+        1000,
+        iters(50, short),
+        || {
+            black_box(dec.decode_soft_terminated(black_box(&soft)).len());
+        },
+    );
+
+    let mut rng = SplitMix64::new(5);
+    let reference = cgauss_vec(&mut rng, 20, 1.0);
+    let y: Vec<Complex> = reference.iter().map(|r| *r * Complex::exp_j(0.7)).collect();
+    rep.measure(
+        "mrc_symbol",
+        "auto",
+        20,
+        0,
+        20,
+        iters(20_000, short),
+        || {
+            black_box(backfi_reader::mrc::mrc_symbol(
+                black_box(&y),
+                black_box(&reference),
+                4,
+                1e-9,
+            ));
+        },
+    );
 }
 
-fn bench_ls_estimator() {
+/// Assert the acceptance speedups from the recorded trajectory and print the
+/// ratio table: FFT convolution ≥ 3× direct at (8192, 256), Toeplitz
+/// estimator ≥ 3× direct at (4096, 64). Skipped in `--short` mode where the
+/// low iteration counts make ratios noisy.
+fn check_speedups(rep: &BenchReport, short: bool) {
+    let find = |name: &str| {
+        rep.records()
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing bench record {name}"))
+            .ns_per_iter
+    };
+    let pairs = [
+        ("convolve_direct_n8192_l256", "convolve_fft_n8192_l256"),
+        (
+            "estimate_fir_direct_n4096_l64",
+            "estimate_fir_toeplitz_n4096_l64",
+        ),
+    ];
+    for (slow, fast) in pairs {
+        let ratio = find(slow) / find(fast);
+        println!("speedup {fast} vs {slow}: {ratio:.1}x");
+        if !short {
+            assert!(ratio >= 3.0, "{fast} only {ratio:.2}x faster than {slow}");
+        }
+    }
+}
+
+fn main() {
+    let short = BenchReport::short_mode();
+    let mut rep = BenchReport::new("kernels", if short { "short" } else { "full" });
+
+    bench_fft(&mut rep, short);
+    bench_convolve_grid(&mut rep, short);
+    bench_xcorr_grid(&mut rep, short);
+    bench_estimator_grid(&mut rep, short);
+    bench_pipeline_kernels(&mut rep, short);
+
+    // Legacy single-line smoke point kept for continuity with older logs.
     let mut rng = SplitMix64::new(4);
     let x = cgauss_vec(&mut rng, 640, 1.0);
     let h: Vec<Complex> = cgauss_vec(&mut rng, 6, 0.01);
     let y = filter(&h, &x);
-    bench("ls_estimate_640samples_6taps", 200, || {
+    bench("ls_estimate_640samples_6taps", iters(200, short), || {
         black_box(estimate_fir(&x, &y, 6, 1e-9).map(|v| v.len()));
     });
-}
 
-fn bench_mrc() {
-    let mut rng = SplitMix64::new(5);
-    let reference = cgauss_vec(&mut rng, 20, 1.0);
-    let y: Vec<Complex> = reference.iter().map(|r| *r * Complex::exp_j(0.7)).collect();
-    bench("mrc_symbol_20samples", 20_000, || {
-        black_box(backfi_reader::mrc::mrc_symbol(
-            black_box(&y),
-            black_box(&reference),
-            4,
-            1e-9,
-        ));
-    });
-}
-
-fn main() {
-    bench_fft();
-    bench_fir();
-    bench_xcorr();
-    bench_viterbi();
-    bench_ls_estimator();
-    bench_mrc();
+    check_speedups(&rep, short);
+    let path = rep.write();
+    println!("wrote {}", path.display());
 }

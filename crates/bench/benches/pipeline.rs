@@ -2,27 +2,49 @@
 //! self-interference canceller, and a full BackFi link exchange. Plain
 //! `harness = false` timing loops (no external bench framework in the
 //! offline build).
+//!
+//! Every point also lands in `BENCH_pipeline.json` at the repo root via
+//! [`BenchReport`] — the machine-readable perf trajectory diffed across PRs.
+//! Pass `--short` for the CI smoke run.
 
-use backfi_bench::timing::bench;
+use backfi_bench::timing::BenchReport;
 use backfi_core::link::{LinkConfig, LinkSimulator};
 use backfi_dsp::noise::add_noise;
 use backfi_dsp::rng::SplitMix64;
 use backfi_wifi::{Mcs, WifiReceiver, WifiTransmitter};
 use std::hint::black_box;
 
-fn bench_wifi_tx() {
-    let tx = WifiTransmitter::new();
-    let psdu: Vec<u8> = (0..500).map(|i| i as u8).collect();
-    bench("wifi_tx_500B_24mbps", 50, || {
-        black_box(
-            tx.transmit(black_box(&psdu), Mcs::Mbps24, 0x5D)
-                .samples
-                .len(),
-        );
-    });
+/// Scale an iteration count down for `--short` CI smoke runs.
+fn iters(full: u32, short: bool) -> u32 {
+    if short {
+        (full / 10).max(2)
+    } else {
+        full
+    }
 }
 
-fn bench_wifi_rx() {
+fn bench_wifi_tx(rep: &mut BenchReport, short: bool) {
+    let tx = WifiTransmitter::new();
+    let psdu: Vec<u8> = (0..500).map(|i| i as u8).collect();
+    let samples = tx.transmit(&psdu, Mcs::Mbps24, 0x5D).samples.len();
+    rep.measure(
+        "wifi_tx_500B_24mbps",
+        "auto",
+        samples,
+        0,
+        samples,
+        iters(50, short),
+        || {
+            black_box(
+                tx.transmit(black_box(&psdu), Mcs::Mbps24, 0x5D)
+                    .samples
+                    .len(),
+            );
+        },
+    );
+}
+
+fn bench_wifi_rx(rep: &mut BenchReport, short: bool) {
     let tx = WifiTransmitter::new();
     let rx = WifiReceiver::default();
     let psdu: Vec<u8> = (0..500).map(|i| i as u8).collect();
@@ -30,24 +52,45 @@ fn bench_wifi_rx() {
     let mut buf = pkt.samples.clone();
     let mut rng = SplitMix64::new(1);
     add_noise(&mut rng, &mut buf, 1e-4);
-    bench("wifi_rx_500B_24mbps", 20, || {
-        black_box(rx.receive(black_box(&buf)).is_ok());
-    });
+    let n = buf.len();
+    rep.measure(
+        "wifi_rx_500B_24mbps",
+        "auto",
+        n,
+        0,
+        n,
+        iters(20, short),
+        || {
+            black_box(rx.receive(black_box(&buf)).is_ok());
+        },
+    );
 }
 
-fn bench_full_link() {
+fn bench_full_link(rep: &mut BenchReport, short: bool) {
     let mut cfg = LinkConfig::at_distance(1.0);
     cfg.excitation.wifi_payload_bytes = 1200;
     let sim = LinkSimulator::new(cfg);
     let mut seed = 0u64;
-    bench("backfi_link_exchange_0p5ms", 10, || {
-        seed += 1;
-        black_box(sim.run(seed).success);
-    });
+    rep.measure(
+        "backfi_link_exchange_0p5ms",
+        "auto",
+        0,
+        0,
+        0,
+        iters(10, short),
+        || {
+            seed += 1;
+            black_box(sim.run(seed).success);
+        },
+    );
 }
 
 fn main() {
-    bench_wifi_tx();
-    bench_wifi_rx();
-    bench_full_link();
+    let short = BenchReport::short_mode();
+    let mut rep = BenchReport::new("pipeline", if short { "short" } else { "full" });
+    bench_wifi_tx(&mut rep, short);
+    bench_wifi_rx(&mut rep, short);
+    bench_full_link(&mut rep, short);
+    let path = rep.write();
+    println!("wrote {}", path.display());
 }

@@ -4,21 +4,183 @@
 //! stay byte-identical across runs and thread counts (they are diffed by the
 //! reproduction harness); only the timing lines vary run to run.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
-/// Time `iters` calls of `f` after one warm-up call and print ns/iter.
+/// Time `iters` calls of `f` after one warm-up call; returns ns/iter.
 ///
-/// Used by the `benches/` targets; prints a single
-/// `name ... <ns>/iter (<iters> iters)` line on stdout.
-pub fn bench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+/// The measurement core behind [`bench`] and the JSON-emitting
+/// [`BenchReport::measure`].
+pub fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
     f(); // warm-up: touch caches, fault pages, fill planners
     let t0 = Instant::now();
     for _ in 0..iters {
         f();
     }
-    let total = t0.elapsed();
-    let per = total.as_nanos() / u128::from(iters.max(1));
+    t0.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+}
+
+/// Time `iters` calls of `f` after one warm-up call and print ns/iter.
+///
+/// Used by the `benches/` targets; prints a single
+/// `name ... <ns>/iter (<iters> iters)` line on stdout.
+pub fn bench<F: FnMut()>(name: &str, iters: u32, f: F) {
+    let per = time_ns(iters, f) as u128;
     println!("{name:<36} {per:>12} ns/iter ({iters} iters)");
+}
+
+// ------------------------------------------------------- perf trajectory ---
+
+/// One measured kernel point for the machine-readable perf trajectory.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Unique point name, e.g. `convolve_direct_n8192_l256`.
+    pub name: String,
+    /// Kernel family, e.g. `convolve`, `xcorr`, `estimate_fir`.
+    pub kernel: String,
+    /// Signal length (samples) of the measured problem.
+    pub n: usize,
+    /// Kernel length (taps / template samples); 0 when not applicable.
+    pub l: usize,
+    /// Which implementation ran: `direct`, `fft`, `toeplitz`, or `auto`
+    /// (the public dispatching entry point).
+    pub path: String,
+    /// Measured nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Input samples processed per second at that rate.
+    pub samples_per_sec: f64,
+    /// Iterations timed.
+    pub iters: u32,
+}
+
+/// Collects [`BenchRecord`]s and writes one `BENCH_<name>.json` at the repo
+/// root — the machine-readable perf trajectory that later PRs diff against
+/// (the CI bench smoke job uploads these as artifacts).
+pub struct BenchReport {
+    bench: String,
+    mode: String,
+    records: Vec<BenchRecord>,
+}
+
+/// Escape a string for embedding in a JSON string literal (the hand-rolled
+/// writer keeps the offline build free of serde).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/∞; clamp those to 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl BenchReport {
+    /// Start a report for bench target `bench` (`kernels`, `pipeline`, …)
+    /// running in `mode` (`short` for CI smoke runs, `full` otherwise).
+    pub fn new(bench: &str, mode: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            mode: mode.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// True when the bench args request the CI smoke run (`--short`).
+    pub fn short_mode() -> bool {
+        std::env::args().any(|a| a == "--short")
+    }
+
+    /// Time `iters` calls of `f`, print the usual stdout line, and record the
+    /// point. `n`/`l` describe the problem size; `samples` is how many input
+    /// samples one iteration processes (for the samples/sec column).
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure<F: FnMut()>(
+        &mut self,
+        kernel: &str,
+        path: &str,
+        n: usize,
+        l: usize,
+        samples: usize,
+        iters: u32,
+        f: F,
+    ) -> f64 {
+        let ns = time_ns(iters, f);
+        let name = if l > 0 {
+            format!("{kernel}_{path}_n{n}_l{l}")
+        } else {
+            format!("{kernel}_{path}_n{n}")
+        };
+        println!("{name:<36} {:>12} ns/iter ({iters} iters)", ns as u128);
+        self.records.push(BenchRecord {
+            name,
+            kernel: kernel.to_string(),
+            n,
+            l,
+            path: path.to_string(),
+            ns_per_iter: ns,
+            samples_per_sec: samples as f64 / (ns * 1e-9).max(1e-12),
+            iters,
+        });
+        ns
+    }
+
+    /// The points measured so far (for speedup assertions in the benches).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// The workspace root (two levels up from the `backfi-bench` manifest),
+    /// where the `BENCH_*.json` trajectory files live.
+    pub fn repo_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    /// Serialize to `BENCH_<bench>.json` at the repo root. Returns the path
+    /// written. Panics on I/O failure — a bench that cannot record its
+    /// trajectory should fail loudly in CI.
+    pub fn write(&self) -> PathBuf {
+        assert!(
+            !self.records.is_empty(),
+            "BenchReport::write: no records measured"
+        );
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(&self.bench)));
+        s.push_str(&format!("  \"mode\": \"{}\",\n", json_escape(&self.mode)));
+        s.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"n\": {}, \"l\": {}, \
+                 \"path\": \"{}\", \"ns_per_iter\": {}, \"samples_per_sec\": {}, \
+                 \"iters\": {}}}{}\n",
+                json_escape(&r.name),
+                json_escape(&r.kernel),
+                r.n,
+                r.l,
+                json_escape(&r.path),
+                json_num(r.ns_per_iter),
+                json_num(r.samples_per_sec),
+                r.iters,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        let path = Self::repo_root().join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, s).expect("write BENCH json");
+        path
+    }
 }
 
 /// Per-phase wall-clock accounting for the figure binaries.

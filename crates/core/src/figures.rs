@@ -8,7 +8,9 @@
 use crate::baseline::PriorWifiBackscatter;
 use crate::link::{LinkConfig, LinkSimulator};
 use crate::network::{ClientPhyExperiment, ClientPhyResult, NetworkModel};
-use crate::sweep::{grid_cells, max_throughput_bps, run_grid, Executor, TrialStats};
+use crate::sweep::{
+    grid_cells, max_throughput_bps, run_grid, run_grid_indexed, Executor, TrialStats,
+};
 use crate::traces::{ApTrace, TraceModel};
 use backfi_chan::budget::LinkBudget;
 use backfi_coding::CodeRate;
@@ -127,6 +129,76 @@ pub fn fig8(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<
             }
         })
         .collect()
+}
+
+/// Frontier-pruned [`fig8`]: same figure, fewer link trials.
+///
+/// Exploits the monotonicity of the throughput-vs-range frontier: a
+/// configuration that failed to decode at a *nearer* distance only loses SNR
+/// farther out, so any candidate whose throughput exceeds the previous
+/// (nearer) distance's frontier value cannot join the frontier and is
+/// skipped. Distances are processed nearest-first per preamble; the first
+/// distance always evaluates the full candidate grid.
+///
+/// Every trial that *does* run reuses the job index it had in the full
+/// [`fig8`] grid (via [`run_grid_indexed`]), so evaluated cells see exactly
+/// the seeds the full sweep would have given them — on grids where the
+/// monotonicity assumption holds, the reported frontier is bit-identical to
+/// the full sweep's, just cheaper.
+pub fn fig8_pruned(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<Fig8Point> {
+    let trials = budget.trials.max(1) as u64;
+    let mut points = Vec::new();
+    // Cell offset of each (preamble, distance) block in the full fig8 grid.
+    let mut block_start = 0u64;
+    for &preamble_us in preambles {
+        let candidates = TagConfig::all_combinations(preamble_us);
+        let starts: Vec<u64> = (0..distances.len() as u64)
+            .map(|i| block_start + i * candidates.len() as u64)
+            .collect();
+        block_start += (distances.len() * candidates.len()) as u64;
+
+        // Nearest-first order; the caller's distance order is restored below
+        // by pushing points in evaluation order and sorting at the end.
+        let mut order: Vec<usize> = (0..distances.len()).collect();
+        order.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).unwrap());
+
+        let mut frontier = f64::INFINITY;
+        let mut per_distance: Vec<Option<Fig8Point>> = vec![None; distances.len()];
+        for &di in &order {
+            let distance_m = distances[di];
+            let base = base_link(distance_m, budget);
+            let mut cells = Vec::new();
+            let mut bases = Vec::new();
+            for (ci, cell) in grid_cells(&base, &candidates).into_iter().enumerate() {
+                if cell.tag.throughput_bps() > frontier {
+                    continue; // couldn't decode nearer in — can't out here
+                }
+                cells.push(cell);
+                bases.push((starts[di] + ci as u64) * trials);
+            }
+            let stats = run_grid_indexed(&cells, budget.trials, 1000, &bases);
+            let best = stats
+                .iter()
+                .filter(|s| s.decoded())
+                .max_by(|a, b| {
+                    a.config
+                        .throughput_bps()
+                        .partial_cmp(&b.config.throughput_bps())
+                        .unwrap()
+                })
+                .map(|s| s.config);
+            let max = max_throughput_bps(&stats);
+            frontier = max;
+            per_distance[di] = Some(Fig8Point {
+                preamble_us,
+                distance_m,
+                max_throughput_bps: max,
+                best,
+            });
+        }
+        points.extend(per_distance.into_iter().flatten());
+    }
+    points
 }
 
 // ------------------------------------------------------------- Figs. 9/10 --
@@ -410,6 +482,36 @@ mod tests {
         let t = fig7();
         assert_eq!(t.len(), 6);
         assert!(t.iter().all(|r| r.columns.len() == 6));
+    }
+
+    #[test]
+    fn fig8_pruned_matches_full_sweep() {
+        // Small grid spanning decodable (0.5 m, 1 m) and marginal (5 m)
+        // ranges: the pruned sweep must report the same frontier — same max
+        // throughput bits, same winning configuration — as the full grid.
+        let budget = FigureBudget::quick();
+        let distances = [0.5, 1.0, 5.0];
+        let preambles = [32.0];
+        let full = fig8(&distances, &preambles, &budget);
+        let pruned = fig8_pruned(&distances, &preambles, &budget);
+        assert_eq!(full.len(), pruned.len());
+        for (f, p) in full.iter().zip(&pruned) {
+            assert_eq!(f.preamble_us, p.preamble_us);
+            assert_eq!(f.distance_m, p.distance_m);
+            assert_eq!(
+                f.max_throughput_bps.to_bits(),
+                p.max_throughput_bps.to_bits(),
+                "frontier mismatch at {} m: full {} vs pruned {}",
+                f.distance_m,
+                f.max_throughput_bps,
+                p.max_throughput_bps
+            );
+            assert_eq!(
+                f.best, p.best,
+                "winning config mismatch at {} m",
+                f.distance_m
+            );
+        }
     }
 
     #[test]

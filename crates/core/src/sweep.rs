@@ -211,18 +211,54 @@ pub fn run_grid_on(
     trials: usize,
     seed0: u64,
 ) -> Vec<TrialStats> {
+    let bases: Vec<u64> = (0..cells.len() as u64)
+        .map(|c| c * trials.max(1) as u64)
+        .collect();
+    run_grid_indexed_on(exec, cells, trials, seed0, &bases)
+}
+
+/// [`run_grid`] where each cell carries its own job-index base: cell `i`,
+/// trial `t` runs with seed `SplitMix64::derive(seed0, bases[i] + t)`.
+///
+/// This is how pruned sweeps stay bit-aligned with their full counterparts:
+/// evaluate any *subset* of a full grid's cells while passing the job-index
+/// bases those cells had in the full grid, and every evaluated trial sees
+/// exactly the seed the full sweep would have given it.
+pub fn run_grid_indexed(
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Vec<TrialStats> {
+    run_grid_indexed_on(&Executor::new(), cells, trials, seed0, bases)
+}
+
+/// [`run_grid_indexed`] on a caller-supplied executor.
+pub fn run_grid_indexed_on(
+    exec: &Executor,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Vec<TrialStats> {
+    assert_eq!(cells.len(), bases.len(), "one job-index base per cell");
     // Build one simulator per cell up front: excitation synthesis is cached
     // and shared, and `run` takes `&self`, so workers share them freely.
     let sims: Vec<LinkSimulator> = cells
         .iter()
         .map(|c| LinkSimulator::new(c.clone()))
         .collect();
-    let jobs: Vec<(usize, u64)> = (0..cells.len() * trials.max(1))
-        .map(|j| (j / trials.max(1), SplitMix64::derive(seed0, j as u64)))
+    let trials = trials.max(1);
+    let jobs: Vec<(usize, u64)> = (0..cells.len() * trials)
+        .map(|j| {
+            let cell = j / trials;
+            let t = (j % trials) as u64;
+            (cell, SplitMix64::derive(seed0, bases[cell] + t))
+        })
         .collect();
     let reports = exec.run(&jobs, |_, &(cell, seed)| sims[cell].run(seed));
     reports
-        .chunks(trials.max(1))
+        .chunks(trials)
         .zip(cells)
         .map(|(chunk, cell)| TrialStats::aggregate(cell.tag, chunk))
         .collect()

@@ -11,9 +11,34 @@ use crate::Complex;
 /// `r[k] = Σ_i x[k+i]·conj(template[i])` for every full-overlap lag
 /// (`x.len() − template.len() + 1` outputs).
 ///
+/// Long templates (the reader's 640-sample tag-preamble search is the hot
+/// case) dispatch to the overlap-save FFT path in [`crate::fastconv`] under
+/// the same size crossover as [`crate::fir::convolve`]; short ones use the
+/// direct form.
+///
 /// # Panics
 /// Panics if `template` is empty or longer than `x`.
 pub fn xcorr(x: &[Complex], template: &[Complex]) -> Vec<Complex> {
+    assert!(!template.is_empty(), "xcorr: empty template");
+    assert!(
+        template.len() <= x.len(),
+        "xcorr: template longer than signal"
+    );
+    if template.len() >= crate::fir::FFT_MIN_KERNEL
+        && x.len().saturating_mul(template.len()) >= crate::fir::FFT_MIN_PRODUCT
+    {
+        crate::fastconv::xcorr_fft(x, template)
+    } else {
+        xcorr_direct(x, template)
+    }
+}
+
+/// The direct O(n·m) form of [`xcorr`], bypassing the size dispatch.
+/// Reference implementation for the equivalence tests and benches.
+///
+/// # Panics
+/// Panics if `template` is empty or longer than `x`.
+pub fn xcorr_direct(x: &[Complex], template: &[Complex]) -> Vec<Complex> {
     assert!(!template.is_empty(), "xcorr: empty template");
     assert!(
         template.len() <= x.len(),

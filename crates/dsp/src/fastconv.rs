@@ -1,0 +1,192 @@
+//! FFT-accelerated linear convolution and cross-correlation (overlap-save).
+//!
+//! The direct kernels in [`crate::fir`] and [`crate::correlate`] cost
+//! O(N·L) for an N-sample signal against an L-tap filter/template. For the
+//! long products the simulator hits in its hot loops — multipath cascades,
+//! canceller reconstruction over whole packets, preamble searches with 640+
+//! sample templates — the overlap-save method here brings that down to
+//! O(N·log B) for a block size B that depends only on L.
+//!
+//! These functions are **exact** linear convolutions (no circular wrap-around
+//! artifacts): the FFT block size leaves `L − 1` samples of overlap between
+//! blocks and the wrapped prefix of every block is discarded. They differ
+//! from the direct forms only by floating-point summation order, bounded by
+//! the usual FFT error growth of O(ε·log B); the equivalence test suite in
+//! `tests/fast_kernel_equiv.rs` pins this below 1e-9 relative.
+//!
+//! Callers normally do not use this module directly: [`crate::fir::convolve`],
+//! [`crate::fir::filter`] and [`crate::correlate::xcorr`] dispatch here
+//! automatically above an empirically-tuned size crossover (constants in
+//! [`crate::fir`]; measured numbers in DESIGN.md §8).
+
+use crate::fft::FftPlan;
+use crate::Complex;
+
+/// Pick the overlap-save FFT block size for an `m`-tap kernel over an
+/// `n`-sample signal.
+///
+/// The per-output cost of a block size `B` is `≈ 2·B·log2(B) / (B − m + 1)`
+/// butterflies, minimized near `B ≈ 8·m`; for short signals a single block
+/// covering the whole product avoids the overlap machinery entirely.
+fn block_size(n: usize, m: usize) -> usize {
+    let single = (n + m - 1).next_power_of_two();
+    let blocked = (8 * m).next_power_of_two();
+    blocked.min(single).max(64)
+}
+
+/// Full linear convolution of `x` and `h` via overlap-save,
+/// `y[i] = Σ_k x[k]·h[i−k]`, output length `x.len() + h.len() − 1`.
+///
+/// Commutative in its arguments; the shorter one is treated as the kernel.
+///
+/// # Panics
+/// Panics if either input is empty.
+pub fn convolve_full_fft(x: &[Complex], h: &[Complex]) -> Vec<Complex> {
+    assert!(
+        !x.is_empty() && !h.is_empty(),
+        "convolve_full_fft: empty input"
+    );
+    // Overlap-save wants the kernel to be the shorter operand.
+    let (x, h) = if h.len() <= x.len() { (x, h) } else { (h, x) };
+    let n = x.len();
+    let m = h.len();
+    let total = n + m - 1;
+
+    let nfft = block_size(n, m);
+    let step = nfft - (m - 1); // valid outputs per block
+    let plan = FftPlan::cached(nfft);
+
+    // Kernel spectrum, computed once per call.
+    let mut hspec = vec![Complex::ZERO; nfft];
+    hspec[..m].copy_from_slice(h);
+    plan.forward(&mut hspec);
+
+    let mut y = Vec::with_capacity(total);
+    let mut buf = vec![Complex::ZERO; nfft];
+    let mut out = 0usize; // next output index to produce
+    while out < total {
+        // The block's input window covers x[out−(m−1) .. out−(m−1)+nfft);
+        // indices outside x are the zero-padding of linear convolution.
+        let base = out as isize - (m as isize - 1);
+        for (i, b) in buf.iter_mut().enumerate() {
+            let xi = base + i as isize;
+            *b = if (0..n as isize).contains(&xi) {
+                x[xi as usize]
+            } else {
+                Complex::ZERO
+            };
+        }
+        plan.forward(&mut buf);
+        for (b, hs) in buf.iter_mut().zip(&hspec) {
+            *b *= *hs;
+        }
+        plan.inverse(&mut buf);
+        // The first m−1 outputs of each block are circularly wrapped: drop.
+        let take = step.min(total - out);
+        y.extend_from_slice(&buf[m - 1..m - 1 + take]);
+        out += take;
+    }
+    y
+}
+
+/// Causal FIR application via overlap-save: the first `x.len()` samples of
+/// the full convolution (the tail beyond the input length is dropped),
+/// matching [`crate::fir::filter`].
+///
+/// # Panics
+/// Panics if `h` is empty.
+pub fn filter_fft(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
+    assert!(!h.is_empty(), "filter_fft: empty impulse response");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mut y = convolve_full_fft(x, h);
+    y.truncate(x.len());
+    y
+}
+
+/// Sliding cross-correlation via overlap-save, matching
+/// [`crate::correlate::xcorr`]: `r[k] = Σ_i x[k+i]·conj(t[i])` for every
+/// full-overlap lag.
+///
+/// Cross-correlation is convolution with the conjugated, time-reversed
+/// template; the full-overlap lags are exactly the `Valid` part of that
+/// convolution.
+///
+/// # Panics
+/// Panics if `template` is empty or longer than `x`.
+pub fn xcorr_fft(x: &[Complex], template: &[Complex]) -> Vec<Complex> {
+    assert!(!template.is_empty(), "xcorr_fft: empty template");
+    assert!(
+        template.len() <= x.len(),
+        "xcorr_fft: template longer than signal"
+    );
+    let m = template.len();
+    let kernel: Vec<Complex> = template.iter().rev().map(|t| t.conj()).collect();
+    let full = convolve_full_fft(x, &kernel);
+    full[m - 1..x.len()].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlate::xcorr;
+    use crate::fir::{convolve, ConvMode};
+    use crate::noise::cgauss_vec;
+    use crate::rng::SplitMix64;
+
+    fn assert_close(a: &[Complex], b: &[Complex], scale: f64) {
+        assert_eq!(a.len(), b.len(), "length mismatch");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < 1e-9 * scale, "index {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_direct_convolution_across_sizes() {
+        let mut rng = SplitMix64::new(11);
+        for &(n, m) in &[(1usize, 1usize), (5, 3), (64, 64), (300, 17), (1000, 129)] {
+            let x = cgauss_vec(&mut rng, n, 1.0);
+            let h = cgauss_vec(&mut rng, m, 1.0);
+            let direct = convolve(&x, &h, ConvMode::Full);
+            let fast = convolve_full_fft(&x, &h);
+            assert_close(&fast, &direct, (n.min(m) as f64).sqrt() + 1.0);
+        }
+    }
+
+    #[test]
+    fn commutes() {
+        let mut rng = SplitMix64::new(12);
+        let a = cgauss_vec(&mut rng, 400, 1.0);
+        let b = cgauss_vec(&mut rng, 37, 1.0);
+        assert_close(&convolve_full_fft(&a, &b), &convolve_full_fft(&b, &a), 10.0);
+    }
+
+    #[test]
+    fn filter_fft_truncates_like_filter() {
+        let mut rng = SplitMix64::new(13);
+        let x = cgauss_vec(&mut rng, 500, 1.0);
+        let h = cgauss_vec(&mut rng, 40, 1.0);
+        let fast = filter_fft(&h, &x);
+        let direct = crate::fir::filter(&h, &x);
+        assert_close(&fast, &direct, 10.0);
+    }
+
+    #[test]
+    fn xcorr_fft_matches_direct() {
+        let mut rng = SplitMix64::new(14);
+        let x = cgauss_vec(&mut rng, 700, 1.0);
+        let t = cgauss_vec(&mut rng, 81, 1.0);
+        let fast = xcorr_fft(&x, &t);
+        let direct = xcorr(&x, &t);
+        assert_close(&fast, &direct, 10.0);
+    }
+
+    #[test]
+    fn impulse_kernel_is_identity() {
+        let mut rng = SplitMix64::new(15);
+        let x = cgauss_vec(&mut rng, 333, 1.0);
+        let y = convolve_full_fft(&x, &[Complex::ONE]);
+        assert_close(&y, &x, 1.0);
+    }
+}

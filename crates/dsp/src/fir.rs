@@ -18,27 +18,36 @@ pub enum ConvMode {
     Valid,
 }
 
-/// Linear convolution of `x` with `h`.
+/// Size crossover for the FFT convolution path: both operands must have at
+/// least this many samples. Below it the direct form's lower constant wins,
+/// and — just as importantly — every short-channel operation in the link
+/// pipeline (all impulse responses are ≲ 32 taps) keeps its exact
+/// bit-for-bit direct-form arithmetic, so sweep outputs are unchanged.
 ///
-/// Direct O(n·m) implementation: channel impulse responses here are short
-/// (≲ 32 taps), for which the direct form beats FFT convolution.
-///
-/// # Panics
-/// Panics if either input is empty.
-pub fn convolve(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
-    assert!(!x.is_empty() && !h.is_empty(), "convolve: empty input");
-    let n = x.len();
-    let m = h.len();
+/// Tuned on the fig-grid host (measurements in DESIGN.md §8): with a
+/// ≥48-tap kernel the FFT path already wins ~2–3× at the product floor and
+/// the gap widens with length (8.3× at 8192×256, ~15× at 16384×512).
+pub const FFT_MIN_KERNEL: usize = 48;
+
+/// Size crossover for the FFT convolution path: the signal×kernel product
+/// must reach this many multiply-accumulates before the overlap-save
+/// machinery (plan lookup, padded blocks, three transforms per block) pays
+/// for itself. Measured break-even is near 2¹⁶; the floor sits one power of
+/// two above it so everything the link pipeline convolves stays on the
+/// bit-exact direct path. `64 taps × 2048 samples` sits right at this
+/// boundary.
+pub const FFT_MIN_PRODUCT: usize = 1 << 17;
+
+/// True when an (n-sample × m-tap) product should take the FFT path.
+#[inline]
+fn use_fft(n: usize, m: usize) -> bool {
+    n.min(m) >= FFT_MIN_KERNEL && n.saturating_mul(m) >= FFT_MIN_PRODUCT
+}
+
+/// Slice a full convolution down to the requested [`ConvMode`].
+fn apply_mode(full: Vec<Complex>, n: usize, m: usize, mode: ConvMode) -> Vec<Complex> {
     let full_len = n + m - 1;
-    let mut full = vec![Complex::ZERO; full_len];
-    for (i, &xi) in x.iter().enumerate() {
-        if xi == Complex::ZERO {
-            continue;
-        }
-        for (k, &hk) in h.iter().enumerate() {
-            full[i + k] += xi * hk;
-        }
-    }
+    debug_assert_eq!(full.len(), full_len);
     match mode {
         ConvMode::Full => full,
         ConvMode::Same => {
@@ -54,10 +63,73 @@ pub fn convolve(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
     }
 }
 
+/// Linear convolution of `x` with `h`.
+///
+/// Dispatches on operand sizes: short products (channel impulse responses
+/// here are ≲ 32 taps) use the direct O(n·m) form, long ones the
+/// overlap-save FFT path in [`crate::fastconv`] (O(n·log m), identical
+/// within float rounding). The crossover is [`FFT_MIN_KERNEL`] taps and
+/// [`FFT_MIN_PRODUCT`] multiply-accumulates.
+///
+/// # Panics
+/// Panics if either input is empty.
+pub fn convolve(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
+    assert!(!x.is_empty() && !h.is_empty(), "convolve: empty input");
+    if use_fft(x.len(), h.len()) {
+        apply_mode(
+            crate::fastconv::convolve_full_fft(x, h),
+            x.len(),
+            h.len(),
+            mode,
+        )
+    } else {
+        convolve_direct(x, h, mode)
+    }
+}
+
+/// The direct O(n·m) convolution form, bypassing the size dispatch of
+/// [`convolve`]. Reference implementation for the equivalence tests and the
+/// before/after kernel benches.
+///
+/// # Panics
+/// Panics if either input is empty.
+pub fn convolve_direct(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
+    assert!(!x.is_empty() && !h.is_empty(), "convolve: empty input");
+    let n = x.len();
+    let m = h.len();
+    let mut full = vec![Complex::ZERO; n + m - 1];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == Complex::ZERO {
+            continue;
+        }
+        for (k, &hk) in h.iter().enumerate() {
+            full[i + k] += xi * hk;
+        }
+    }
+    apply_mode(full, n, m, mode)
+}
+
 /// Causal FIR application: `y[i] = Σ_k h[k] x[i−k]`, with `x[j]=0` for `j<0`,
 /// output the same length as `x`. This is the "signal goes through a channel"
 /// operation — the convolution tail beyond the input length is dropped.
+///
+/// Dispatches to the overlap-save FFT path for long filter×signal products,
+/// like [`convolve`].
 pub fn filter(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
+    assert!(!h.is_empty(), "filter: empty impulse response");
+    if use_fft(x.len(), h.len()) {
+        crate::fastconv::filter_fft(h, x)
+    } else {
+        filter_direct(h, x)
+    }
+}
+
+/// The direct O(n·m) form of [`filter`], bypassing the size dispatch.
+/// Reference implementation for the equivalence tests and benches.
+///
+/// # Panics
+/// Panics if `h` is empty.
+pub fn filter_direct(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
     assert!(!h.is_empty(), "filter: empty impulse response");
     let mut y = vec![Complex::ZERO; x.len()];
     for (i, &xi) in x.iter().enumerate() {

@@ -8,8 +8,11 @@
 //!
 //! * [`Complex`] — complex arithmetic (the `num-complex` crate is not on the
 //!   offline allowlist, so we implement it ourselves),
-//! * [`fft`] — an iterative radix-2 FFT/IFFT for OFDM modulation,
-//! * [`fir`] — FIR filtering and convolution (channels, cancellers),
+//! * [`fft`] — an iterative radix-2 FFT/IFFT for OFDM modulation, with a
+//!   process-wide plan cache,
+//! * [`fir`] — FIR filtering and convolution (channels, cancellers), with
+//!   automatic FFT dispatch for long products,
+//! * [`fastconv`] — the overlap-save kernels behind that dispatch,
 //! * [`correlate`] — cross/auto-correlation and peak search (synchronization),
 //! * [`window`] — window functions,
 //! * [`stats`] — power/SNR/EVM measurement and dB conversions,
@@ -27,6 +30,7 @@
 
 pub mod complex;
 pub mod correlate;
+pub mod fastconv;
 pub mod fft;
 pub mod fir;
 pub mod noise;

@@ -1,0 +1,111 @@
+//! Direct-vs-FFT equivalence suite for the dispatching kernels.
+//!
+//! The public entry points `fir::convolve`, `fir::filter` and
+//! `correlate::xcorr` switch between the direct O(N·L) forms and the
+//! overlap-save FFT path on operand sizes. This suite sweeps a size grid
+//! that straddles the crossover from both sides and pins the two forms to
+//! each other within 1e-9 **relative** error (relative to the RMS of the
+//! direct output, so near-zero samples of an otherwise large output don't
+//! demand absolute 1e-9).
+
+use backfi_dsp::correlate::{xcorr, xcorr_direct};
+use backfi_dsp::fir::{convolve, convolve_direct, filter, filter_direct, ConvMode};
+use backfi_dsp::noise::cgauss_vec;
+use backfi_dsp::rng::SplitMix64;
+use backfi_dsp::Complex;
+
+/// Signal/kernel length grid spanning the dispatch crossover
+/// (`FFT_MIN_KERNEL` = 48 taps, `FFT_MIN_PRODUCT` = 2¹⁷).
+const SIZES: &[(usize, usize)] = &[
+    (256, 8),     // short kernel: always direct
+    (512, 47),    // one tap below the kernel crossover
+    (2048, 48),   // at the kernel crossover, below the product floor
+    (4096, 48),   // both thresholds crossed: FFT
+    (3000, 64),   // non-power-of-two signal, FFT
+    (8192, 256),  // deep FFT territory (the benched point)
+    (300, 300),   // equal lengths, single-block path
+    (1024, 1000), // kernel nearly as long as the signal
+];
+
+fn rms(v: &[Complex]) -> f64 {
+    (v.iter().map(|z| z.norm_sqr()).sum::<f64>() / v.len().max(1) as f64).sqrt()
+}
+
+fn assert_equiv(fast: &[Complex], direct: &[Complex], what: &str) {
+    assert_eq!(fast.len(), direct.len(), "{what}: length mismatch");
+    let scale = rms(direct).max(1e-300);
+    for (i, (a, b)) in fast.iter().zip(direct).enumerate() {
+        let err = (*a - *b).abs() / scale;
+        assert!(err < 1e-9, "{what}: index {i} relative error {err:e}");
+    }
+}
+
+#[test]
+fn convolve_matches_direct_in_all_modes() {
+    let mut rng = SplitMix64::new(0xC0);
+    for &(n, m) in SIZES {
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let h = cgauss_vec(&mut rng, m, 1.0);
+        for mode in [ConvMode::Full, ConvMode::Same, ConvMode::Valid] {
+            let fast = convolve(&x, &h, mode);
+            let direct = convolve_direct(&x, &h, mode);
+            assert_equiv(&fast, &direct, &format!("convolve {n}x{m} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn filter_matches_direct() {
+    let mut rng = SplitMix64::new(0xF1);
+    for &(n, m) in SIZES {
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let h = cgauss_vec(&mut rng, m, 1.0);
+        let fast = filter(&h, &x);
+        let direct = filter_direct(&h, &x);
+        assert_equiv(&fast, &direct, &format!("filter {n}x{m}"));
+    }
+}
+
+#[test]
+fn xcorr_matches_direct() {
+    let mut rng = SplitMix64::new(0x5C);
+    for &(n, m) in SIZES {
+        if m > n {
+            continue;
+        }
+        let x = cgauss_vec(&mut rng, n, 1.0);
+        let t = cgauss_vec(&mut rng, m, 1.0);
+        let fast = xcorr(&x, &t);
+        let direct = xcorr_direct(&x, &t);
+        assert_equiv(&fast, &direct, &format!("xcorr {n}x{m}"));
+    }
+}
+
+#[test]
+fn short_kernels_stay_bit_identical() {
+    // Below the crossover the dispatcher must run the untouched direct code:
+    // every channel operation in the link pipeline (≲ 32 taps) depends on
+    // this for bit-reproducible sweep output.
+    let mut rng = SplitMix64::new(0xB1);
+    let x = cgauss_vec(&mut rng, 20_000, 1.0);
+    let h = cgauss_vec(&mut rng, 32, 1.0);
+    assert_eq!(
+        convolve(&x, &h, ConvMode::Full),
+        convolve_direct(&x, &h, ConvMode::Full)
+    );
+    assert_eq!(filter(&h, &x), filter_direct(&h, &x));
+    let t = cgauss_vec(&mut rng, 47, 1.0);
+    assert_eq!(xcorr(&x, &t), xcorr_direct(&x, &t));
+}
+
+#[test]
+fn dispatch_is_deterministic() {
+    // Same inputs twice → bit-identical output, whichever path runs.
+    let mut rng = SplitMix64::new(0xD5);
+    let x = cgauss_vec(&mut rng, 8192, 1.0);
+    let h = cgauss_vec(&mut rng, 256, 1.0);
+    assert_eq!(
+        convolve(&x, &h, ConvMode::Full),
+        convolve(&x, &h, ConvMode::Full)
+    );
+}

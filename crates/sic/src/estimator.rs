@@ -16,6 +16,70 @@
 use crate::linalg::{solve, CMat};
 use backfi_dsp::Complex;
 
+/// Build the ridge-free normal equations `A`, `b` over the observation-index
+/// `runs` (half-open, every index `i` satisfying `i ≥ taps−1`), plus the
+/// total input power and observation count over those runs.
+///
+/// The Gram matrix is near-Toeplitz: `A[j][k] = Σ_i conj(x[i−j])·x[i−k]`
+/// depends on the lag `ℓ = k−j` except for which window of the lag product
+/// `g_ℓ[m] = conj(x[m])·x[m−ℓ]` is summed. So instead of the direct
+/// O(N·taps²) triple loop, we compute one prefix-sum sequence of `g_ℓ` per
+/// lag — O(N·taps) total — and read every `A[j][j+ℓ]` off it as an exact
+/// windowed difference (the "edge corrections" per entry are the two prefix
+/// lookups per run). The input-power sum falls out of the lag-0 diagonal for
+/// free, so no separate mean-power pass is needed.
+fn normal_equations(
+    x: &[Complex],
+    y: &[Complex],
+    taps: usize,
+    runs: &[(usize, usize)],
+) -> (CMat, Vec<Complex>, f64, usize) {
+    let n = x.len();
+    let mut a = CMat::zeros(taps, taps);
+    let mut b = vec![Complex::ZERO; taps];
+
+    // Gram matrix from per-lag prefix sums.
+    let mut prefix = vec![Complex::ZERO; n + 1];
+    for lag in 0..taps {
+        for m in 0..lag {
+            prefix[m + 1] = Complex::ZERO;
+        }
+        for m in lag..n {
+            prefix[m + 1] = prefix[m] + x[m].conj() * x[m - lag];
+        }
+        for j in 0..taps - lag {
+            let k = j + lag;
+            // Observation i sums g_lag[i−j]; run [lo, hi) maps to the
+            // prefix window [lo−j, hi−j) (lo ≥ taps−1 ≥ j keeps it valid).
+            let mut acc = Complex::ZERO;
+            for &(lo, hi) in runs {
+                acc += prefix[hi - j] - prefix[lo - j];
+            }
+            a[(j, k)] = acc;
+            if lag != 0 {
+                a[(k, j)] = acc.conj();
+            }
+        }
+    }
+
+    // Cross-correlation vector, O(obs·taps) — already the lower bound.
+    for (j, bj) in b.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for &(lo, hi) in runs {
+            for i in lo..hi {
+                acc += x[i - j].conj() * y[i];
+            }
+        }
+        *bj = acc;
+    }
+
+    // conj(x)·x has exactly zero imaginary part, so the lag-0 diagonal
+    // entry IS the input-power sum over the observation window.
+    let power_sum = a[(0, 0)].re;
+    let count = runs.iter().map(|&(lo, hi)| hi - lo).sum();
+    (a, b, power_sum, count)
+}
+
 /// Estimate a `taps`-long FIR `h` from input `x` and output `y` (same
 /// indexing: `y[n] = Σ_k h[k]·x[n−k]`). Only output samples `n ≥ taps−1`
 /// (full history available) contribute.
@@ -24,9 +88,36 @@ use backfi_dsp::Complex;
 /// (1e−6…1e−3 typical; guards against ill-conditioning when `x` has little
 /// energy in some delay bins).
 ///
+/// The normal equations are built in O(N·taps) by exploiting their
+/// near-Toeplitz structure (see [`estimate_fir_direct`] for the reference
+/// O(N·taps²) form, equivalent within float rounding).
+///
 /// Returns `None` when the system is singular even after regularization or
 /// there are fewer observations than taps.
 pub fn estimate_fir(x: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Option<Vec<Complex>> {
+    assert_eq!(x.len(), y.len(), "estimate_fir: length mismatch");
+    assert!(taps >= 1, "estimate_fir: need at least one tap");
+    let n = x.len();
+    if n < taps * 2 {
+        return None;
+    }
+    let (mut a, b, power_sum, _) = normal_equations(x, y, taps, &[(taps - 1, n)]);
+    a.add_diag(ridge * power_sum);
+    solve(&a, &b)
+}
+
+/// The direct O(N·taps²) normal-equation build behind [`estimate_fir`],
+/// bypassing the Toeplitz fast path. Reference implementation for the
+/// equivalence tests and the before/after kernel benches.
+///
+/// # Panics
+/// Panics on length mismatch or `taps == 0`.
+pub fn estimate_fir_direct(
+    x: &[Complex],
+    y: &[Complex],
+    taps: usize,
+    ridge: f64,
+) -> Option<Vec<Complex>> {
     assert_eq!(x.len(), y.len(), "estimate_fir: length mismatch");
     assert!(taps >= 1, "estimate_fir: need at least one tap");
     let n = x.len();
@@ -73,6 +164,55 @@ pub fn estimate_fir(x: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Op
 /// sample lies inside one PN chip, so samples spanning a chip transition are
 /// masked out.
 pub fn estimate_fir_masked(
+    x: &[Complex],
+    y: &[Complex],
+    taps: usize,
+    ridge: f64,
+    mask: &[bool],
+) -> Option<Vec<Complex>> {
+    assert_eq!(x.len(), y.len(), "estimate_fir_masked: length mismatch");
+    assert_eq!(
+        mask.len(),
+        y.len(),
+        "estimate_fir_masked: mask length mismatch"
+    );
+    assert!(taps >= 1, "estimate_fir_masked: need at least one tap");
+    let n = x.len();
+    // Collapse the mask into contiguous observation runs: chip-transition
+    // masks keep long true stretches, so the per-(j,k) cost of the
+    // prefix-sum Gram build is two lookups per run instead of one
+    // multiply-accumulate per observation.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut count = 0usize;
+    let mut i = taps - 1;
+    while i < n {
+        if mask[i] {
+            let lo = i;
+            while i < n && mask[i] {
+                i += 1;
+            }
+            runs.push((lo, i));
+            count += i - lo;
+        } else {
+            i += 1;
+        }
+    }
+    if count < taps * 2 {
+        return None;
+    }
+    let (mut a, b, power_sum, obs) = normal_equations(x, y, taps, &runs);
+    debug_assert_eq!(obs, count);
+    a.add_diag(ridge * power_sum);
+    solve(&a, &b)
+}
+
+/// The direct per-observation build behind [`estimate_fir_masked`],
+/// bypassing the run-structured fast path. Reference implementation for the
+/// equivalence tests and benches.
+///
+/// # Panics
+/// Panics on length mismatch or `taps == 0`.
+pub fn estimate_fir_masked_direct(
     x: &[Complex],
     y: &[Complex],
     taps: usize,

@@ -81,13 +81,18 @@ impl std::ops::IndexMut<(usize, usize)> for CMat {
 }
 
 /// Solve the square system `A·x = b` by Gaussian elimination with partial
-/// pivoting. Returns `None` when the matrix is numerically singular.
+/// pivoting. Returns `None` when the matrix is numerically singular, or when
+/// any input entry is non-finite — a NaN/∞ observation window must surface
+/// as an estimation failure, not propagate silently into canceller taps.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn solve(a: &CMat, b: &[Complex]) -> Option<Vec<Complex>> {
     assert_eq!(a.rows, a.cols, "solve needs a square matrix");
     assert_eq!(b.len(), a.rows, "rhs dimension mismatch");
+    if !a.data.iter().all(|v| v.is_finite()) || !b.iter().all(|v| v.is_finite()) {
+        return None;
+    }
     let n = a.rows;
     // Augmented working copy.
     let mut m = a.data.clone();
