@@ -3,7 +3,8 @@
 //! rate." Pure energy-model computation; compares against the paper's
 //! values cell by cell.
 
-use backfi_bench::{fmt_bps, header, rule};
+use backfi_bench::timing::timed_figure;
+use backfi_bench::{budget_from_args, fmt_bps, header, rule};
 use backfi_core::figures::fig7;
 
 /// The paper's own REPB table (rows: symbol rate; cols: BPSK 1/2, BPSK 2/3,
@@ -23,7 +24,9 @@ fn main() {
         "Relative energy-per-bit and throughput per tag configuration",
         "reference EPB (BPSK 1/2 @ 1 MSPS) = 3.15 pJ/bit",
     );
-    let table = fig7();
+    let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig07", &budget);
+    let table = timed_figure("fig07", fig7);
     println!(
         "{:>10} | {:^22} | {:^22} | {:^22}",
         "sym rate", "BPSK 1/2 / 2/3", "QPSK 1/2 / 2/3", "16PSK 1/2 / 2/3"

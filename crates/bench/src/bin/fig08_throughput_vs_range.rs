@@ -16,6 +16,7 @@ fn main() {
          preamble buys ~10x over 32 µs",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig08", &budget);
     // `--prune` skips candidates that already failed nearer in (frontier
     // monotonicity); seeds stay aligned with the full grid, so the table is
     // identical whenever the monotonicity assumption holds — just cheaper.

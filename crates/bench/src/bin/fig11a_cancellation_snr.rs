@@ -13,6 +13,7 @@ fn main() {
         "median degradation < 2.3 dB (prior full-duplex work reports 1.7 dB)",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig11a", &budget);
     let quick = std::env::args().any(|a| a == "--quick");
     let (locations, runs) = if quick { (8, 2) } else { (30, 10) };
     let (pts, median) = timed_figure("fig11a", || fig11a(locations, runs, &budget));

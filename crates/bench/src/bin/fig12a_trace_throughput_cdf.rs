@@ -14,6 +14,7 @@ fn main() {
         "median ≈ 80 % of the continuous-excitation optimum (4 of 5 Mbps)",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig12a", &budget);
     let quick = std::env::args().any(|a| a == "--quick");
     let n_traces = if quick { 8 } else { 20 };
     let (cdf, active) = timed_figure("fig12a", || fig12a(2.0, n_traces, &budget));

@@ -17,6 +17,7 @@ fn main() {
         "no degradation at 6 Mbps; noticeable only at 54 Mbps",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig13a", &budget);
     let rates = [
         Mcs::Mbps6,
         Mcs::Mbps12,

@@ -13,6 +13,7 @@ fn main() {
         "small (≈1–2 dB) degradation, largest for the closest/fastest clients",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("fig13b", &budget);
     let rates = [
         Mcs::Mbps6,
         Mcs::Mbps12,

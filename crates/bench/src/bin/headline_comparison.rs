@@ -13,6 +13,7 @@ fn main() {
         "10^3x throughput, ~10x range; prior: ≤1 Kbps at <1 m",
     );
     let budget = budget_from_args();
+    let _obs = backfi_bench::obs_setup("headline", &budget);
     let h = timed_figure("headline", || headline(&budget));
 
     println!("{:>28} | {:>14} | {:>14}", "", "BackFi", "prior [27,25]");

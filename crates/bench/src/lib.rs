@@ -27,6 +27,37 @@ pub fn budget_from_args() -> FigureBudget {
     }
 }
 
+/// Arm the observability layer for a figure binary.
+///
+/// Every figure calls this once at startup: `--obs` on the command line
+/// force-enables recording (equivalent to `BACKFI_OBS=1`), run metadata
+/// (figure id, quick/paper mode, trial budget, a config hash) is stamped into
+/// the manifest, and the returned [`backfi_obs::RunScope`] guard writes
+/// `OBS_<figure>.json` at the repo root when it drops at the end of `main`.
+///
+/// Returns `None` when observability is off — the entire layer then costs
+/// the figure one relaxed atomic load per instrumentation point, and no
+/// manifest is written. All obs output goes to stderr and the JSON file;
+/// stdout stays byte-identical either way.
+pub fn obs_setup(figure: &str, budget: &FigureBudget) -> Option<backfi_obs::RunScope> {
+    if std::env::args().any(|a| a == "--obs") {
+        backfi_obs::enable();
+    }
+    if !backfi_obs::enabled() {
+        return None;
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    backfi_obs::set_meta("figure", figure);
+    backfi_obs::set_meta("mode", if quick { "quick" } else { "paper" });
+    backfi_obs::set_meta("trials", &budget.trials.to_string());
+    let cfg = format!("{budget:?}");
+    backfi_obs::set_meta(
+        "config_hash",
+        &format!("{:016x}", backfi_obs::fnv1a64(cfg.as_bytes())),
+    );
+    backfi_obs::run_scope(figure)
+}
+
 /// Format a bit/s figure the way the paper writes it (kbps/Mbps).
 pub fn fmt_bps(bps: f64) -> String {
     if bps >= 1e6 {

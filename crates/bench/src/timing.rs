@@ -11,13 +11,19 @@ use std::time::{Duration, Instant};
 ///
 /// The measurement core behind [`bench`] and the JSON-emitting
 /// [`BenchReport::measure`].
+///
+/// # Panics
+/// Panics when `iters == 0`: a zero-iteration call would time nothing and
+/// silently report ~0 ns/iter — a bogus trajectory point that perf diffs
+/// would read as an infinite speedup.
 pub fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    assert!(iters >= 1, "time_ns: iters must be >= 1 (got 0)");
     f(); // warm-up: touch caches, fault pages, fill planners
     let t0 = Instant::now();
     for _ in 0..iters {
         f();
     }
-    t0.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+    t0.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
 /// Time `iters` calls of `f` after one warm-up call and print ns/iter.
@@ -268,7 +274,8 @@ impl PhaseTimer {
 ///
 /// The trial count comes from the sweep executor's process-wide counters
 /// ([`backfi_core::sweep::metrics_snapshot`]), so the binary doesn't need to
-/// know how many jobs its figure fanned out.
+/// know how many jobs its figure fanned out. When the obs layer is enabled
+/// the same numbers also land in the run manifest as gauges.
 pub fn timed_figure<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let (jobs0, _) = backfi_core::sweep::metrics_snapshot();
     let t0 = Instant::now();
@@ -284,12 +291,32 @@ pub fn timed_figure<T>(label: &str, f: impl FnOnce() -> T) -> T {
     } else {
         eprintln!("# {label} wall={wall:.3}s");
     }
+    if backfi_obs::enabled() {
+        backfi_obs::gauge_set("figure.wall_s", wall);
+        backfi_obs::gauge_set("figure.trials", trials as f64);
+        backfi_obs::gauge_set("figure.trials_per_s", trials as f64 / wall.max(1e-9));
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "iters must be >= 1")]
+    fn time_ns_rejects_zero_iters() {
+        // A zero-iteration measurement must fail loudly, not report ~0 ns.
+        time_ns(0, || {});
+    }
+
+    #[test]
+    fn time_ns_measures_positive_time() {
+        let ns = time_ns(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
 
     #[test]
     fn phases_accumulate() {

@@ -58,6 +58,7 @@ pub fn estimate_h_fb(
     search: &[isize],
     ridge: f64,
 ) -> Option<ChannelEstimate> {
+    let _t = backfi_obs::span("chanest.estimate_h_fb");
     let chips = chips_per_sample(preamble_us);
     let per_chip = us_to_samples(PREAMBLE_CHIP_US);
     let n = chips.len();
@@ -92,6 +93,10 @@ pub fn estimate_h_fb(
             Some(b) if b.residual <= cand.residual => {}
             _ => best = Some(cand),
         }
+    }
+    if let Some(b) = &best {
+        backfi_obs::probe("chanest.energy", b.energy);
+        backfi_obs::probe("chanest.residual", b.residual);
     }
     best
 }

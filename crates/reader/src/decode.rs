@@ -38,8 +38,11 @@ pub fn decode_symbols(
 
     // Soft bits from each phasor.
     let mut llrs = Vec::with_capacity(estimates.len() * bps);
-    for est in estimates {
-        soft_bits(modulation, est.z, 1.0, est.noise_var, &mut llrs);
+    {
+        let _t = backfi_obs::span("decode.soft_bits");
+        for est in estimates {
+            soft_bits(modulation, est.z, 1.0, est.noise_var, &mut llrs);
+        }
     }
 
     // Trim to a whole puncturing period so depuncturing is consistent.
@@ -51,13 +54,37 @@ pub fn decode_symbols(
     let usable = llrs.len() - llrs.len() % period_tx;
     let mother_len = usable / period_tx * period_mother;
     let decoded = if mother_len >= 16 {
+        let _t = backfi_obs::span("decode.viterbi");
         let soft = depuncture_soft(&llrs[..usable], code_rate, mother_len);
         ViterbiDecoder::ieee80211().decode_soft_truncated(&soft)
     } else {
         Vec::new()
     };
 
+    if backfi_obs::enabled() && !decoded.is_empty() {
+        // Viterbi work metric: re-encode the decoded sequence, puncture it
+        // back to the transmitted rate, and count where it disagrees with the
+        // hard decisions of the received soft bits. Each disagreement is a
+        // channel bit the decoder corrected (or, past the FEC's limit,
+        // miscorrected) — the pre-FEC error count attribution probe.
+        let reenc = backfi_coding::ConvEncoder::ieee80211().encode(&decoded);
+        let punct = backfi_coding::puncture::puncture(&reenc, code_rate);
+        let corrected = llrs[..usable]
+            .iter()
+            .zip(&punct)
+            .filter(|(l, b)| (**l > 0.0) != **b)
+            .count();
+        backfi_obs::probe("decode.viterbi_corrected_bits", corrected as f64);
+        backfi_obs::probe(
+            "decode.pre_fec_ber",
+            corrected as f64 / usable.min(punct.len()).max(1) as f64,
+        );
+    }
+
     let frame = TagFrame::parse(&decoded);
+    if frame.is_err() {
+        backfi_obs::counter_add("reader.err.crc", 1);
+    }
 
     // Metrics over the symbols the frame actually occupies: the tag stops
     // reflecting once its frame ends, so trailing symbol slots in the

@@ -67,6 +67,28 @@ impl std::fmt::Display for ReaderError {
 
 impl std::error::Error for ReaderError {}
 
+impl ReaderError {
+    /// The obs counter attributing this failure to its pipeline stage
+    /// (`reader.err.*`); bumped on every error return so CRC-level failure
+    /// rates can be decomposed by cause instead of one opaque
+    /// `success: false`.
+    pub fn obs_counter(&self) -> &'static str {
+        match self {
+            ReaderError::CancellationFailed => "reader.err.cancellation",
+            ReaderError::ChannelEstimationFailed => "reader.err.chanest",
+            ReaderError::NoSymbols => "reader.err.no_symbols",
+        }
+    }
+}
+
+/// Count a reader-stage failure and pass the error through (used on every
+/// `ReaderError` return path so the attribution counters cannot drift from
+/// the error identity).
+fn count_err(e: ReaderError) -> ReaderError {
+    backfi_obs::counter_add(e.obs_counter(), 1);
+    e
+}
+
 /// Everything the reader learned from one packet.
 #[derive(Clone, Debug)]
 pub struct TagDecodeResult {
@@ -208,39 +230,49 @@ impl BackscatterReader {
         assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
 
         // --- Stage 1+2: self-interference cancellation -----------------
-        let canceller = SelfInterferenceCanceller::new(self.cfg.canceller, h_env_view);
-        let rep = canceller
-            .process(x_clean, y_rx, timeline.silent.clone())
-            .ok_or(ReaderError::CancellationFailed)?;
+        let rep = {
+            let _t = backfi_obs::span("reader.sic");
+            let canceller = SelfInterferenceCanceller::new(self.cfg.canceller, h_env_view);
+            canceller
+                .process(x_clean, y_rx, timeline.silent.clone())
+                .ok_or_else(|| count_err(ReaderError::CancellationFailed))?
+        };
+        backfi_obs::probe("reader.cancellation_db", rep.cancellation_db);
+        backfi_obs::probe("reader.residual_db", rep.residual_db);
         let y = rep.samples;
         let noise_power = stats::undb(rep.residual_db);
 
         // --- Stage 3: h_fb estimation with timing search ----------------
-        let mut search: Vec<isize> = vec![0];
-        let mut off = 20isize;
-        while off <= self.cfg.timing_span as isize {
-            search.push(off);
-            search.push(-off);
-            off += 20;
-        }
-        let est = estimate_h_fb(
-            x_clean,
-            &y,
-            timeline.preamble.start,
-            tag_cfg.preamble_us,
-            self.cfg.fb_taps,
-            &search,
-            self.cfg.ridge,
-        )
-        .ok_or(ReaderError::ChannelEstimationFailed)?;
+        let est = {
+            let _t = backfi_obs::span("reader.chanest");
+            let mut search: Vec<isize> = vec![0];
+            let mut off = 20isize;
+            while off <= self.cfg.timing_span as isize {
+                search.push(off);
+                search.push(-off);
+                off += 20;
+            }
+            estimate_h_fb(
+                x_clean,
+                &y,
+                timeline.preamble.start,
+                tag_cfg.preamble_us,
+                self.cfg.fb_taps,
+                &search,
+                self.cfg.ridge,
+            )
+            .ok_or_else(|| count_err(ReaderError::ChannelEstimationFailed))?
+        };
+        backfi_obs::probe("reader.timing_offset_samples", est.offset as f64);
         let timeline = timeline.shifted(est.offset);
 
         // --- Stage 4: MRC over every payload symbol ---------------------
+        let _t_mrc = backfi_obs::span("reader.mrc");
         let reference = backfi_dsp::fir::filter(&est.h_fb, x_clean);
         let sps = tag_cfg.samples_per_symbol();
         let nsym = timeline.payload.len() / sps;
         if nsym == 0 {
-            return Err(ReaderError::NoSymbols);
+            return Err(count_err(ReaderError::NoSymbols));
         }
         let guard = self.cfg.fb_taps; // §4.3.2's boundary guard
         let mut symbols = Vec::with_capacity(nsym);
@@ -265,7 +297,7 @@ impl BackscatterReader {
             }
         }
         if symbols.len() <= backfi_tag::framer::PILOT_SYMBOLS {
-            return Err(ReaderError::NoSymbols);
+            return Err(count_err(ReaderError::NoSymbols));
         }
         Ok(Branch {
             symbols,
@@ -279,6 +311,7 @@ impl BackscatterReader {
     /// Shared back half: pilot phase anchor → decision-directed phase
     /// refinement → soft decode → frame parse.
     fn finish(&self, branch: Branch, tag_cfg: &TagConfig) -> TagDecodeResult {
+        let _t = backfi_obs::span("reader.decode");
         let Branch {
             symbols,
             cancellation_db,
@@ -467,17 +500,90 @@ mod tests {
 
     #[test]
     fn snr_decreases_with_distance() {
+        // Averaged over ≥20 seeds so a single lucky/unlucky fading draw
+        // cannot flip the comparison (ROADMAP statistical-test convention).
         let cfg = TagConfig::default();
-        let snr_at = |d: f64| {
-            let (res, _) = run_link(d, cfg, 123);
-            res.map(|r| r.metrics.symbol_snr_db)
-                .unwrap_or(f64::NEG_INFINITY)
+        let mean_snr_at = |d: f64| {
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for seed in 0..20u64 {
+                let (res, _) = run_link(d, cfg, 123 + seed);
+                if let Ok(r) = res {
+                    total += r.metrics.symbol_snr_db;
+                    n += 1;
+                }
+            }
+            assert!(n >= 15, "{d} m: too few successful decodes ({n}/20)");
+            total / n as f64
         };
-        let near = snr_at(0.5);
-        let far = snr_at(4.0);
+        let near = mean_snr_at(0.5);
+        let far = mean_snr_at(4.0);
         assert!(
             near > far + 3.0,
-            "0.5 m snr {near} should exceed 4 m snr {far}"
+            "0.5 m mean snr {near} should exceed 4 m mean snr {far}"
+        );
+    }
+
+    /// Force each `ReaderError` in turn and check the failure lands on the
+    /// right `reader.err.*` attribution counter (the obs layer's per-stage
+    /// breakdown of CRC-level failures).
+    #[test]
+    fn failure_modes_increment_their_stage_counter() {
+        use crate::timeline::Timeline;
+
+        backfi_obs::enable();
+        let mut rng = SplitMix64::new(77);
+        let n = 3000usize;
+        let x: Vec<Complex> = cgauss_vec(&mut rng, n, 1.0);
+        let h_env = vec![Complex::new(0.05, -0.02), Complex::new(0.004, 0.001)];
+        let mut y = backfi_dsp::fir::filter(&h_env, &x);
+        backfi_dsp::noise::add_noise(&mut rng, &mut y, 1e-10);
+        let tag_cfg = TagConfig::default();
+        let reader = BackscatterReader::default();
+
+        let force = |timeline: Timeline, want: ReaderError| {
+            let before = backfi_obs::counter_value(want.obs_counter());
+            let got = reader
+                .decode(&x, &y, &h_env, &timeline, &tag_cfg)
+                .expect_err("decode must fail");
+            assert_eq!(got, want, "wrong failure stage");
+            let after = backfi_obs::counter_value(want.obs_counter());
+            assert!(
+                after > before,
+                "{} did not increment ({before} -> {after})",
+                want.obs_counter()
+            );
+        };
+
+        // Silent window shorter than the digital canceller's 28 taps: the
+        // digital stage cannot train.
+        force(
+            Timeline {
+                silent: 0..10,
+                preamble: 10..650,
+                payload: 650..n,
+            },
+            ReaderError::CancellationFailed,
+        );
+        // Preamble window escapes the buffer at every searched offset: no
+        // candidate yields a solvable LS system.
+        force(
+            Timeline {
+                silent: 0..400,
+                preamble: 2900..2950,
+                payload: 2950..n,
+            },
+            ReaderError::ChannelEstimationFailed,
+        );
+        // Payload window shorter than one symbol (20 samples at 1 MSPS):
+        // chanest succeeds on the (noise-only) preamble, MRC finds nothing.
+        force(
+            Timeline {
+                silent: 0..400,
+                preamble: 400..1040,
+                payload: 1040..1050,
+            },
+            ReaderError::NoSymbols,
         );
     }
 }

@@ -78,6 +78,7 @@ impl AnalogCanceller {
     /// coupler's copy); both slices must be the same length.
     pub fn cancel(&self, x_clean: &[Complex], y_rx: &[Complex]) -> Vec<Complex> {
         assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
+        let _t = backfi_obs::span("sic.analog.fir");
         let model = backfi_dsp::fir::filter(&self.taps, x_clean);
         y_rx.iter().zip(&model).map(|(y, m)| *y - *m).collect()
     }

@@ -95,17 +95,37 @@ impl SelfInterferenceCanceller {
         let input_si_db = stats::mean_power_db(&y_rx[silent.clone()]);
 
         // Stage 1: analog subtraction.
-        let after_analog = self.analog.cancel(x_clean, y_rx);
+        let after_analog = {
+            let _t = backfi_obs::span("sic.analog");
+            self.analog.cancel(x_clean, y_rx)
+        };
+        if backfi_obs::enabled() {
+            // Residual power after the analog stage alone — the Fig. 11a
+            // attribution probe (how much work is left for the ADC+digital
+            // chain). Measured over the silent window, obs-gated because it
+            // is an extra pass the pipeline itself never needs.
+            backfi_obs::probe(
+                "sic.after_analog_db",
+                stats::mean_power_db(&after_analog[silent.clone()]),
+            );
+            backfi_obs::probe("sic.input_si_db", input_si_db);
+        }
 
         // AGC + ADC.
-        let rms = stats::rms(&after_analog);
-        let full_scale = rms * 10f64.powf(self.cfg.agc_headroom_db / 20.0);
-        let adc = backfi_chan_adc(self.cfg.adc_bits, full_scale.max(1e-30));
-        let adc_clip_fraction = adc.clip_fraction(&after_analog);
-        let digitized = adc.convert(&after_analog);
+        let digitized = {
+            let _t = backfi_obs::span("sic.adc");
+            let rms = stats::rms(&after_analog);
+            let full_scale = rms * 10f64.powf(self.cfg.agc_headroom_db / 20.0);
+            let adc = backfi_chan_adc(self.cfg.adc_bits, full_scale.max(1e-30));
+            let adc_clip_fraction = adc.clip_fraction(&after_analog);
+            backfi_obs::probe("sic.adc_clip_fraction", adc_clip_fraction);
+            (adc.convert(&after_analog), adc_clip_fraction)
+        };
+        let (digitized, adc_clip_fraction) = digitized;
 
         // Stage 2: digital subtraction, trained on the silent window.
         let samples = if self.cfg.digital_enabled {
+            let _t = backfi_obs::span("sic.digital");
             let dig = DigitalCanceller::train(
                 &x_clean[silent.clone()],
                 &digitized[silent.clone()],
@@ -118,6 +138,7 @@ impl SelfInterferenceCanceller {
         };
 
         let residual_db = stats::mean_power_db(&samples[trim(&silent, self.cfg.digital_taps)]);
+        backfi_obs::probe("sic.residual_db", residual_db);
         Some(CancellerReport {
             cancellation_db: input_si_db - residual_db,
             input_si_db,

@@ -27,6 +27,7 @@ impl DigitalCanceller {
     ///
     /// Returns `None` if the window is too short for the requested length.
     pub fn train(x_clean: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Option<Self> {
+        let _t = backfi_obs::span("sic.digital.train");
         let h = estimate_fir(x_clean, y, taps, ridge)?;
         Some(DigitalCanceller { taps: h })
     }
@@ -40,6 +41,7 @@ impl DigitalCanceller {
     /// packet.
     pub fn cancel(&self, x_clean: &[Complex], y: &[Complex]) -> Vec<Complex> {
         assert_eq!(x_clean.len(), y.len(), "length mismatch");
+        let _t = backfi_obs::span("sic.digital.cancel");
         let model = backfi_dsp::fir::filter(&self.taps, x_clean);
         y.iter().zip(&model).map(|(a, b)| *a - *b).collect()
     }

@@ -97,6 +97,7 @@ fn normal_equations(
 pub fn estimate_fir(x: &[Complex], y: &[Complex], taps: usize, ridge: f64) -> Option<Vec<Complex>> {
     assert_eq!(x.len(), y.len(), "estimate_fir: length mismatch");
     assert!(taps >= 1, "estimate_fir: need at least one tap");
+    let _t = backfi_obs::span("sic.ls.estimate_fir");
     let n = x.len();
     if n < taps * 2 {
         return None;
@@ -177,6 +178,7 @@ pub fn estimate_fir_masked(
         "estimate_fir_masked: mask length mismatch"
     );
     assert!(taps >= 1, "estimate_fir_masked: need at least one tap");
+    let _t = backfi_obs::span("sic.ls.estimate_fir_masked");
     let n = x.len();
     // Collapse the mask into contiguous observation runs: chip-transition
     // masks keep long true stretches, so the per-(j,k) cost of the

@@ -33,6 +33,7 @@
 //! | [`sic`] | two-stage self-interference cancellation |
 //! | [`reader`] | the AP-side decoder: channel estimation, MRC (Eq. 7), rate adaptation |
 //! | [`core`] | end-to-end link/network simulators and every figure's harness |
+//! | [`obs`] | structured tracing: stage spans, counters, probe points, run manifests |
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -41,6 +42,7 @@ pub use backfi_chan as chan;
 pub use backfi_coding as coding;
 pub use backfi_core as core;
 pub use backfi_dsp as dsp;
+pub use backfi_obs as obs;
 pub use backfi_reader as reader;
 pub use backfi_sic as sic;
 pub use backfi_tag as tag;
