@@ -32,6 +32,7 @@ fn mean_snr(cfg: &LinkConfig, trials: usize, seed0: u64) -> (f64, f64) {
 fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("ablations", &budget);
+    backfi_bench::impair_setup();
     let trials = budget.trials.max(3);
     let payload = budget.wifi_payload_bytes.min(1500);
 

@@ -58,6 +58,37 @@ pub fn obs_setup(figure: &str, budget: &FigureBudget) -> Option<backfi_obs::RunS
     backfi_obs::run_scope(figure)
 }
 
+/// Arm the fault-injection layer for a figure binary.
+///
+/// `--impair <spec>` (e.g. `--impair cfo:0.5,interference:1`, `--impair
+/// all:0.25`, `--impair off`) installs the parsed impairment set process-wide;
+/// without the flag the `BACKFI_IMPAIR` environment variable applies, and
+/// with neither the layer is off and every figure's stdout is byte-identical
+/// to a build without it. A malformed spec is a usage error: the binary
+/// prints the parse error and exits with status 2 rather than silently
+/// benchmarking the wrong fault model. The active (non-off) set is echoed to
+/// stderr so logs record what was injected.
+pub fn impair_setup() {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--impair" {
+            let spec = args.next().unwrap_or_default();
+            match backfi_chan::impair::Impairments::parse(&spec) {
+                Ok(imp) => backfi_chan::impair::set_global(imp),
+                Err(e) => {
+                    eprintln!("error: --impair {spec:?}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            break;
+        }
+    }
+    let active = backfi_chan::impair::global();
+    if !active.is_off() {
+        eprintln!("# fault injection active: {active:?}");
+    }
+}
+
 /// Format a bit/s figure the way the paper writes it (kbps/Mbps).
 pub fn fmt_bps(bps: f64) -> String {
     if bps >= 1e6 {

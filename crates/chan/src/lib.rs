@@ -16,6 +16,9 @@
 //!   leakage + environmental reflections with a long tail),
 //! * [`frontend`] — receiver front end: thermal noise, ADC quantization and
 //!   saturation,
+//! * [`impair`] — deterministic, seeded off-nominal impairment injection
+//!   (clock drift, CFO, interference bursts, saturation transients,
+//!   impulsive noise, truncated/corrupted streams), all off by default,
 //! * [`medium`] — the composed backscatter medium that the end-to-end link
 //!   simulator drives sample by sample.
 
@@ -25,6 +28,7 @@
 pub mod budget;
 pub mod environment;
 pub mod frontend;
+pub mod impair;
 pub mod medium;
 pub mod multipath;
 

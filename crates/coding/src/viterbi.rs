@@ -172,10 +172,13 @@ impl ViterbiDecoder {
         let mut state = if terminated {
             0usize
         } else {
+            // NaN-poisoned path metrics (corrupted LLR inputs) must lose the
+            // comparison, not panic it: map NaN below -inf, then total order.
+            let key = |m: &f64| if m.is_nan() { f64::NEG_INFINITY } else { *m };
             metric
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| key(a.1).total_cmp(&key(b.1)))
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         };

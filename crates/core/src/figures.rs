@@ -56,6 +56,17 @@ impl FigureBudget {
     }
 }
 
+/// NaN-safe "bigger is better" key: NaN sorts below `-∞` so it can never win
+/// a `max_by` under `total_cmp` (identical ordering to `partial_cmp` on real
+/// values — figure output bytes are unchanged).
+fn nan_loses(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        v
+    }
+}
+
 fn base_link(distance: f64, budget: &FigureBudget) -> LinkConfig {
     let mut cfg = LinkConfig::at_distance(distance);
     cfg.excitation.wifi_payload_bytes = budget.wifi_payload_bytes;
@@ -115,10 +126,8 @@ pub fn fig8(distances: &[f64], preambles: &[f64], budget: &FigureBudget) -> Vec<
                 .iter()
                 .filter(|s| s.decoded())
                 .max_by(|a, b| {
-                    a.config
-                        .throughput_bps()
-                        .partial_cmp(&b.config.throughput_bps())
-                        .unwrap()
+                    nan_loses(a.config.throughput_bps())
+                        .total_cmp(&nan_loses(b.config.throughput_bps()))
                 })
                 .map(|s| s.config);
             Fig8Point {
@@ -160,7 +169,7 @@ pub fn fig8_pruned(distances: &[f64], preambles: &[f64], budget: &FigureBudget) 
         // Nearest-first order; the caller's distance order is restored below
         // by pushing points in evaluation order and sorting at the end.
         let mut order: Vec<usize> = (0..distances.len()).collect();
-        order.sort_by(|&a, &b| distances[a].partial_cmp(&distances[b]).unwrap());
+        order.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]));
 
         let mut frontier = f64::INFINITY;
         let mut per_distance: Vec<Option<Fig8Point>> = vec![None; distances.len()];
@@ -181,10 +190,8 @@ pub fn fig8_pruned(distances: &[f64], preambles: &[f64], budget: &FigureBudget) 
                 .iter()
                 .filter(|s| s.decoded())
                 .max_by(|a, b| {
-                    a.config
-                        .throughput_bps()
-                        .partial_cmp(&b.config.throughput_bps())
-                        .unwrap()
+                    nan_loses(a.config.throughput_bps())
+                        .total_cmp(&nan_loses(b.config.throughput_bps()))
                 })
                 .map(|s| s.config);
             let max = max_throughput_bps(&stats);

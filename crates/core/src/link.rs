@@ -7,6 +7,7 @@
 
 use crate::excitation::{Excitation, ExcitationConfig};
 use backfi_chan::budget::LinkBudget;
+use backfi_chan::impair::Impairments;
 use backfi_chan::medium::{BackscatterMedium, MediumConfig};
 use backfi_dsp::Complex;
 use backfi_reader::reader::{BackscatterReader, ReaderConfig, ReaderError};
@@ -30,10 +31,17 @@ pub struct LinkConfig {
     pub excitation: ExcitationConfig,
     /// Reader parameters.
     pub reader: ReaderConfig,
+    /// Fault-injection impairments (off by default; see
+    /// [`backfi_chan::impair`]). When every knob is zero the simulation is
+    /// bit-identical to a build without this field.
+    pub impair: Impairments,
 }
 
 impl LinkConfig {
-    /// A deployment at `distance_m` with all defaults.
+    /// A deployment at `distance_m` with all defaults. The impairment set is
+    /// taken from the process-wide configuration ([`backfi_chan::impair::global`],
+    /// seeded from `BACKFI_IMPAIR` / `--impair`), which is off unless
+    /// explicitly enabled.
     pub fn at_distance(distance_m: f64) -> Self {
         LinkConfig {
             budget: LinkBudget::default(),
@@ -41,6 +49,7 @@ impl LinkConfig {
             tag: TagConfig::default(),
             excitation: ExcitationConfig::default(),
             reader: ReaderConfig::default(),
+            impair: backfi_chan::impair::global(),
         }
     }
 }
@@ -70,6 +79,31 @@ pub struct LinkReport {
     pub tag_energy_pj: f64,
     /// Reader error, if the pipeline failed before producing symbols.
     pub reader_error: Option<ReaderError>,
+    /// Whether this trial's job panicked and was caught by the sweep
+    /// executor; such reports carry worst-case statistics so aggregates stay
+    /// well defined.
+    pub panicked: bool,
+}
+
+impl LinkReport {
+    /// The report recorded for a job that panicked: a counted failure with
+    /// worst-case statistics (BER 1, −∞ SNR, zero goodput) so aggregation
+    /// over a grid cell never divides by a missing trial.
+    pub fn job_failed() -> LinkReport {
+        LinkReport {
+            success: false,
+            sent: Vec::new(),
+            ber: 1.0,
+            pre_fec_ber: 0.5,
+            measured_snr_db: f64::NEG_INFINITY,
+            expected_snr_db: f64::NEG_INFINITY,
+            cancellation_db: 0.0,
+            goodput_bps: 0.0,
+            tag_energy_pj: 0.0,
+            reader_error: None,
+            panicked: true,
+        }
+    }
 }
 
 /// The composed simulator.
@@ -150,6 +184,16 @@ impl LinkSimulator {
         let incident = backfi_dsp::fir::filter(&medium.h_f, x_scaled);
         let gamma = tag.react(&incident);
         drop(_t_react);
+        // Tag-timeline impairments (clock drift / desync): warp the
+        // reflection-coefficient stream. `None` when both knobs are off —
+        // the clean path allocates and draws nothing.
+        let gamma = match cfg.impair.warp_gamma(&gamma, seed) {
+            Some(warped) => {
+                backfi_obs::counter_add("link.impair.timeline", 1);
+                warped
+            }
+            None => gamma,
+        };
 
         let energy_bits = (sent.len() * 8) as f64;
         let tag_energy_pj = epb_pj(&cfg.tag) * energy_bits;
@@ -168,13 +212,37 @@ impl LinkSimulator {
                 goodput_bps: 0.0,
                 tag_energy_pj,
                 reader_error: Some(ReaderError::NoSymbols),
+                panicked: false,
             };
         }
 
         let _t_prop = backfi_obs::span("link.propagate");
-        let y_full = medium.propagate(&exc.samples, &gamma);
-        let y = &y_full[..exc.samples.len()];
+        let mut y_full = medium.propagate(&exc.samples, &gamma);
         drop(_t_prop);
+        // Receiver-side impairments (CFO, interference bursts, saturation,
+        // impulses, truncation, non-finite corruption). A no-op returning a
+        // default `Applied` when the set is off.
+        if !cfg.impair.is_off() {
+            let n = exc.samples.len();
+            let applied = cfg
+                .impair
+                .apply_rx(&mut y_full[..n], cfg.budget.noise_power(), seed);
+            if applied.any() {
+                backfi_obs::counter_add("link.impair.rx", 1);
+                backfi_obs::counter_add("link.impair.bursts", applied.bursts as u64);
+                backfi_obs::counter_add("link.impair.impulses", applied.impulses as u64);
+                if applied.saturated {
+                    backfi_obs::counter_add("link.impair.saturated", 1);
+                }
+                if applied.truncated_at.is_some() {
+                    backfi_obs::counter_add("link.impair.truncated", 1);
+                }
+                if applied.nonfinite > 0 {
+                    backfi_obs::counter_add("link.impair.nonfinite", 1);
+                }
+            }
+        }
+        let y = &y_full[..exc.samples.len()];
 
         // --- reader -------------------------------------------------------
         let timeline = Timeline::nominal(exc.detect_end, exc.samples.len(), &cfg.tag);
@@ -274,6 +342,7 @@ impl LinkSimulator {
                     goodput_bps,
                     tag_energy_pj,
                     reader_error: None,
+                    panicked: false,
                 }
             }
             Err(e) => {
@@ -281,6 +350,7 @@ impl LinkSimulator {
                     ReaderError::CancellationFailed => "link.fail.cancellation",
                     ReaderError::ChannelEstimationFailed => "link.fail.chanest",
                     ReaderError::NoSymbols => "link.fail.no_symbols",
+                    ReaderError::InvalidInput => "link.fail.invalid_input",
                 };
                 backfi_obs::counter_add(stage, 1);
                 LinkReport {
@@ -294,6 +364,7 @@ impl LinkSimulator {
                     goodput_bps: 0.0,
                     tag_energy_pj,
                     reader_error: Some(e),
+                    panicked: false,
                 }
             }
         }

@@ -1,0 +1,303 @@
+//! CRC-failure retry with rate fallback — the graceful-degradation policy
+//! on top of [`crate::link`].
+//!
+//! §6.1's rate adaptation picks one configuration per range; a real
+//! deployment must also survive the packets that configuration *loses*
+//! (fading dips, interference bursts, injected faults). This module retries
+//! a failed exchange at the next-lower rung of the fallback ladder
+//! ([`backfi_reader::rate_adapt::fallback_ladder`]) and scores the whole
+//! episode by **goodput**: delivered bits over the airtime of *every*
+//! attempt, failed ones included — retries are never free.
+
+use crate::link::{LinkConfig, LinkReport, LinkSimulator};
+use crate::sweep::{Executor, TrialStats};
+use backfi_dsp::rng::SplitMix64;
+use backfi_reader::rate_adapt::{fallback_ladder, next_lower};
+use backfi_tag::config::TagConfig;
+
+/// Retry policy for one exchange episode.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, the initial transmission included (≥ 1).
+    pub max_attempts: usize,
+    /// Idle backoff between attempts, as a fraction of one excitation
+    /// packet's airtime (models the reader re-polling the tag).
+    pub backoff_packets: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_packets: 0.5,
+        }
+    }
+}
+
+/// Outcome of one retry episode.
+#[derive(Clone, Debug)]
+pub struct EpisodeReport {
+    /// The per-attempt link reports, in transmission order.
+    pub attempts: Vec<LinkReport>,
+    /// Tag configuration of each attempt (the fallback trace).
+    pub configs: Vec<TagConfig>,
+    /// Whether any attempt delivered the frame.
+    pub success: bool,
+    /// Delivered information bits (0 when every attempt failed).
+    pub delivered_bits: f64,
+    /// Total airtime spent, µs: every attempt's excitation packet plus the
+    /// inter-attempt backoff.
+    pub airtime_us: f64,
+    /// Episode goodput: delivered bits over total spent airtime, bit/s.
+    pub goodput_bps: f64,
+}
+
+/// Run one exchange with CRC-failure retries stepping down the fallback
+/// ladder built from `candidates`.
+///
+/// Attempt `k` uses seed `SplitMix64::derive(seed, k)` — a fresh fading and
+/// noise draw per attempt (the tag re-transmits into a new channel
+/// realization), deterministic in `(seed, k)` regardless of scheduling.
+/// Attempt 0 runs `base.tag`; each retry switches to the next configuration
+/// strictly below the current one in throughput, staying put when the ladder
+/// is exhausted.
+pub fn run_with_fallback(
+    base: &LinkConfig,
+    candidates: &[TagConfig],
+    policy: RetryPolicy,
+    seed: u64,
+) -> EpisodeReport {
+    let ladder = fallback_ladder(candidates);
+    let mut cfg = base.clone();
+    let mut attempts = Vec::new();
+    let mut configs = Vec::new();
+    let mut airtime_us = 0.0;
+    let mut delivered_bits = 0.0;
+    let mut success = false;
+    for k in 0..policy.max_attempts.max(1) {
+        if k > 0 {
+            // Fall back one rung (CRC failed on the previous attempt).
+            if let Some(lower) = next_lower(&ladder, &cfg.tag) {
+                backfi_obs::counter_add("link.rate_fallback", 1);
+                cfg.tag = lower;
+            }
+            airtime_us += policy.backoff_packets.max(0.0) * packet_airtime_us(&cfg);
+        }
+        let sim = LinkSimulator::new(cfg.clone());
+        let rep = sim.run(SplitMix64::derive(seed, k as u64));
+        airtime_us += packet_airtime_us(&cfg);
+        configs.push(cfg.tag);
+        let ok = rep.success;
+        let bits = (rep.sent.len() * 8) as f64;
+        attempts.push(rep);
+        if ok {
+            success = true;
+            delivered_bits = bits;
+            break;
+        }
+    }
+    let goodput_bps = if airtime_us > 0.0 {
+        delivered_bits / (airtime_us * 1e-6)
+    } else {
+        0.0
+    };
+    EpisodeReport {
+        attempts,
+        configs,
+        success,
+        delivered_bits,
+        airtime_us,
+        goodput_bps,
+    }
+}
+
+/// Aggregate retry-episode statistics over many seeds.
+#[derive(Clone, Debug)]
+pub struct EpisodeStats {
+    /// Fraction of episodes that eventually delivered the frame.
+    pub delivery_rate: f64,
+    /// Fraction of episodes whose *first* attempt delivered.
+    pub first_attempt_rate: f64,
+    /// Mean attempts per episode.
+    pub mean_attempts: f64,
+    /// Mean episode goodput (failed airtime charged), bit/s.
+    pub mean_goodput_bps: f64,
+}
+
+/// Run `episodes` retry episodes in parallel (panic-isolated, like every
+/// sweep) and aggregate. Episode `e` uses seed `SplitMix64::derive(seed0, e)`.
+pub fn episode_stats(
+    exec: &Executor,
+    base: &LinkConfig,
+    candidates: &[TagConfig],
+    policy: RetryPolicy,
+    episodes: usize,
+    seed0: u64,
+) -> EpisodeStats {
+    let seeds: Vec<u64> = (0..episodes.max(1) as u64)
+        .map(|e| SplitMix64::derive(seed0, e))
+        .collect();
+    let reports: Vec<EpisodeReport> = exec
+        .run_caught(&seeds, |_, &s| {
+            run_with_fallback(base, candidates, policy, s)
+        })
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|_| EpisodeReport {
+                attempts: vec![LinkReport::job_failed()],
+                configs: vec![base.tag],
+                success: false,
+                delivered_bits: 0.0,
+                airtime_us: packet_airtime_us(base),
+                goodput_bps: 0.0,
+            })
+        })
+        .collect();
+    let n = reports.len() as f64;
+    EpisodeStats {
+        delivery_rate: reports.iter().filter(|r| r.success).count() as f64 / n,
+        first_attempt_rate: reports
+            .iter()
+            .filter(|r| r.attempts.first().map(|a| a.success).unwrap_or(false))
+            .count() as f64
+            / n,
+        mean_attempts: reports.iter().map(|r| r.attempts.len() as f64).sum::<f64>() / n,
+        mean_goodput_bps: reports.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
+    }
+}
+
+/// Per-trial stats of the *fallback-capable* link, shaped like
+/// [`TrialStats`] so figure harnesses can swap it in: the episode counts as
+/// decoded when any attempt delivered, and goodput charges retry airtime.
+pub fn resilient_trials(
+    exec: &Executor,
+    base: &LinkConfig,
+    candidates: &[TagConfig],
+    policy: RetryPolicy,
+    episodes: usize,
+    seed0: u64,
+) -> TrialStats {
+    let stats = episode_stats(exec, base, candidates, policy, episodes, seed0);
+    TrialStats {
+        config: base.tag,
+        success_rate: stats.delivery_rate,
+        mean_snr_db: f64::NAN,
+        mean_ber: 1.0 - stats.delivery_rate,
+        mean_pre_fec_ber: f64::NAN,
+        mean_goodput_bps: stats.mean_goodput_bps,
+        panics: 0,
+    }
+}
+
+/// Airtime of one excitation packet under `cfg`, µs.
+fn packet_airtime_us(cfg: &LinkConfig) -> f64 {
+    crate::excitation::Excitation::cached(&cfg.excitation).airtime_us()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backfi_coding::CodeRate;
+    use backfi_tag::config::TagModulation;
+
+    fn candidates() -> Vec<TagConfig> {
+        vec![
+            TagConfig {
+                modulation: TagModulation::Psk16,
+                code_rate: CodeRate::TwoThirds,
+                symbol_rate_hz: 2.5e6,
+                preamble_us: 32.0,
+            },
+            TagConfig::default(), // QPSK 1/2 @ 1 MSPS
+            TagConfig {
+                modulation: TagModulation::Bpsk,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: 500e3,
+                preamble_us: 32.0,
+            },
+        ]
+    }
+
+    fn base(distance: f64, tag: TagConfig) -> LinkConfig {
+        let mut cfg = LinkConfig::at_distance(distance);
+        cfg.tag = tag;
+        cfg.excitation.wifi_payload_bytes = 1500;
+        cfg
+    }
+
+    #[test]
+    fn first_attempt_success_never_retries() {
+        let rep = run_with_fallback(
+            &base(1.0, TagConfig::default()),
+            &candidates(),
+            RetryPolicy::default(),
+            11,
+        );
+        assert!(rep.success);
+        assert_eq!(rep.attempts.len(), 1);
+        assert!(rep.goodput_bps > 0.0);
+        assert!(rep.airtime_us > 0.0);
+    }
+
+    #[test]
+    fn crc_failure_steps_down_the_ladder() {
+        // 16PSK 2/3 @ 2.5 MSPS cannot decode at 4 m; the episode must fall
+        // back to strictly lower-throughput rungs and charge the airtime.
+        let aggressive = candidates()[0];
+        let rep = run_with_fallback(
+            &base(4.0, aggressive),
+            &candidates(),
+            RetryPolicy::default(),
+            3,
+        );
+        assert!(rep.attempts.len() > 1, "aggressive config must fail at 4 m");
+        for w in rep.configs.windows(2) {
+            assert!(
+                w[1].throughput_bps() < w[0].throughput_bps(),
+                "fallback must descend: {:?}",
+                rep.configs
+            );
+        }
+        // Retry airtime is charged even when the episode fails.
+        let single = run_with_fallback(
+            &base(1.0, TagConfig::default()),
+            &candidates(),
+            RetryPolicy::default(),
+            11,
+        );
+        assert!(rep.airtime_us > single.airtime_us * 1.9);
+    }
+
+    #[test]
+    fn episode_stats_aggregate_over_seeds() {
+        // ≥20 seeds (ROADMAP convention). At 1 m with fallback available the
+        // delivery rate should beat the first-attempt rate of an aggressive
+        // starting configuration — that is the whole point of the ladder.
+        let aggressive = candidates()[0];
+        let stats = episode_stats(
+            &Executor::new(),
+            &base(2.0, aggressive),
+            &candidates(),
+            RetryPolicy::default(),
+            20,
+            77,
+        );
+        assert!(stats.delivery_rate >= stats.first_attempt_rate);
+        assert!(
+            stats.delivery_rate > stats.first_attempt_rate + 0.2,
+            "fallback should rescue episodes: first {} vs final {}",
+            stats.first_attempt_rate,
+            stats.delivery_rate
+        );
+        assert!(stats.mean_attempts >= 1.0);
+        let trials = resilient_trials(
+            &Executor::new(),
+            &base(2.0, aggressive),
+            &candidates(),
+            RetryPolicy::default(),
+            20,
+            77,
+        );
+        assert!((trials.success_rate - stats.delivery_rate).abs() < 1e-12);
+    }
+}

@@ -33,6 +33,9 @@ pub struct TrialStats {
     pub mean_pre_fec_ber: f64,
     /// Mean goodput over all trials, bit/s.
     pub mean_goodput_bps: f64,
+    /// Number of trials whose job panicked and was caught by the executor
+    /// (each counted as a worst-case failure in every mean above).
+    pub panics: usize,
 }
 
 impl TrialStats {
@@ -67,6 +70,7 @@ impl TrialStats {
             mean_ber: reports.iter().map(|r| r.ber).sum::<f64>() / n,
             mean_pre_fec_ber: reports.iter().map(|r| r.pre_fec_ber).sum::<f64>() / n,
             mean_goodput_bps: reports.iter().map(|r| r.goodput_bps).sum::<f64>() / n,
+            panics: reports.iter().filter(|r| r.panicked).count(),
         }
     }
 }
@@ -251,6 +255,48 @@ impl Executor {
         BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
     }
+
+    /// [`Executor::run`] with per-job panic isolation: a job that panics
+    /// yields `Err(JobPanic)` in its slot instead of tearing down the worker
+    /// (and with it every job the worker had left to steal). The panic is
+    /// counted (`sweep.job_panic`), attributed on stderr, and the pass
+    /// completes every remaining job.
+    pub fn run_caught<I, T, F>(&self, items: &[I], f: F) -> Vec<Result<T, JobPanic>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.run(items, |i, item| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))).map_err(
+                |payload| {
+                    let message = panic_message(&*payload);
+                    backfi_obs::counter_add("sweep.job_panic", 1);
+                    eprintln!("# sweep job {i} panicked: {message}");
+                    JobPanic { index: i, message }
+                },
+            )
+        })
+    }
+}
+
+/// A job that panicked during an [`Executor::run_caught`] pass.
+#[derive(Clone, Debug)]
+pub struct JobPanic {
+    /// Index of the job in the submitted list.
+    pub index: usize,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 // ----------------------------------------------------------------- grids ---
@@ -318,7 +364,13 @@ pub fn run_grid_indexed_on(
             (cell, SplitMix64::derive(seed0, bases[cell] + t))
         })
         .collect();
-    let reports = exec.run(&jobs, |_, &(cell, seed)| sims[cell].run(seed));
+    // Panic-isolated: a single poisonous (cell, seed) records a failed trial
+    // instead of killing the whole sweep.
+    let reports: Vec<LinkReport> = exec
+        .run_caught(&jobs, |_, &(cell, seed)| sims[cell].run(seed))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|_| LinkReport::job_failed()))
+        .collect();
     reports
         .chunks(trials)
         .zip(cells)
@@ -351,7 +403,11 @@ pub fn run_trials(cfg: &LinkConfig, trials: usize, seed0: u64) -> TrialStats {
 pub fn run_trials_on(exec: &Executor, cfg: &LinkConfig, trials: usize, seed0: u64) -> TrialStats {
     let sim = LinkSimulator::new(cfg.clone());
     let seeds: Vec<u64> = (0..trials as u64).map(|i| seed0 + i).collect();
-    let reports = exec.run(&seeds, |_, &s| sim.run(s));
+    let reports: Vec<LinkReport> = exec
+        .run_caught(&seeds, |_, &s| sim.run(s))
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|_| LinkReport::job_failed()))
+        .collect();
     TrialStats::aggregate(cfg.tag, &reports)
 }
 
@@ -367,9 +423,18 @@ pub fn cycle_configs(
     seed0: u64,
     early_exit: bool,
 ) -> Vec<TrialStats> {
-    // Sort by throughput descending.
+    // Sort by throughput descending; NaN throughput sorts last instead of
+    // panicking the comparator (same order as `partial_cmp` on real values).
     let mut sorted = candidates.to_vec();
-    sorted.sort_by(|a, b| b.throughput_bps().partial_cmp(&a.throughput_bps()).unwrap());
+    let desc_key = |c: &TagConfig| {
+        let t = c.throughput_bps();
+        if t.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            t
+        }
+    };
+    sorted.sort_by(|a, b| desc_key(b).total_cmp(&desc_key(a)));
 
     if !early_exit {
         return run_grid(&grid_cells(base, &sorted), trials, seed0);
@@ -508,6 +573,73 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(Executor::new().run(&empty, |_, &v| v).is_empty());
         assert_eq!(Executor::new().run(&[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn run_caught_isolates_panicking_jobs() {
+        backfi_obs::enable();
+        // Suppress the default panic hook's backtrace spam for the
+        // deliberate panics below; restore it afterwards.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let before = backfi_obs::counter_value("sweep.job_panic");
+        let items: Vec<u32> = (0..50).collect();
+        let out = Executor::with_threads(4).run_caught(&items, |_, &v| {
+            assert!(!v.is_multiple_of(13), "poison {v}");
+            v * 2
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 50);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 0 {
+                let e = r.as_ref().expect_err("multiples of 13 must panic");
+                assert_eq!(e.index, i);
+                assert!(e.message.contains("poison"), "{}", e.message);
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), 2 * i as u32);
+            }
+        }
+        let after = backfi_obs::counter_value("sweep.job_panic");
+        assert!(after >= before + 4, "4 poisoned jobs: {before} -> {after}");
+    }
+
+    #[test]
+    fn run_caught_is_deterministic_across_worker_counts() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..40).collect();
+        let job = |_: usize, v: &u32| {
+            assert!(*v != 17, "boom");
+            *v + 1
+        };
+        let a = Executor::with_threads(1).run_caught(&items, job);
+        let b = Executor::with_threads(6).run_caught(&items, job);
+        std::panic::set_hook(hook);
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Ok(p), Ok(q)) => assert_eq!(p, q),
+                (Err(p), Err(q)) => assert_eq!(p.index, q.index),
+                other => panic!("worker count changed outcomes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nan_throughput_candidate_does_not_panic_cycle() {
+        let candidates = vec![
+            TagConfig::default(),
+            TagConfig {
+                modulation: TagModulation::Bpsk,
+                code_rate: CodeRate::Half,
+                symbol_rate_hz: f64::NAN,
+                preamble_us: 32.0,
+            },
+        ];
+        // NaN sorts last; with early exit the decodable QPSK tier wins and
+        // the NaN config is never simulated.
+        let stats = cycle_configs(&base(0.5), &candidates, 2, 7, true);
+        assert!(!stats.is_empty());
+        assert!(stats[0].config.symbol_rate_hz.is_finite());
     }
 
     #[test]

@@ -28,6 +28,25 @@ pub struct SymbolEstimate {
     pub noise_var: f64,
 }
 
+impl SymbolEstimate {
+    /// A zero-information erasure: `z = 0` with infinite noise variance, so
+    /// the soft-bit stage emits exactly-zero LLRs and the Viterbi decoder
+    /// treats the symbol as unknown instead of as a confident wrong guess.
+    /// Used for symbol windows dominated by saturated or non-finite samples.
+    pub fn erasure() -> SymbolEstimate {
+        SymbolEstimate {
+            z: Complex::ZERO,
+            ref_energy: 0.0,
+            noise_var: f64::INFINITY,
+        }
+    }
+
+    /// Whether this estimate is an [`SymbolEstimate::erasure`] placeholder.
+    pub fn is_erasure(&self) -> bool {
+        self.ref_energy == 0.0 && self.noise_var.is_infinite()
+    }
+}
+
 /// MRC-combine one symbol window.
 ///
 /// * `y` — received (cancelled) samples of the symbol window,

@@ -12,6 +12,27 @@
 use backfi_tag::config::TagConfig;
 use backfi_tag::energy::repb;
 
+/// Total order where NaN loses a "bigger is better" comparison (sorts below
+/// `-∞`). Identical to `partial_cmp` on real values but panic-free: one NaN
+/// REPB or throughput must not crash a whole sweep.
+fn nan_last_desc_key(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        v
+    }
+}
+
+/// Total order where NaN loses a "smaller is better" comparison (sorts above
+/// `+∞`).
+fn nan_last_asc_key(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
 /// A configuration together with whether it decoded at the evaluated link.
 #[derive(Clone, Copy, Debug)]
 pub struct TrialOutcome {
@@ -23,17 +44,20 @@ pub struct TrialOutcome {
     pub symbol_snr_db: f64,
 }
 
-/// Highest-throughput decodable configuration (ties broken by lower REPB).
+/// Highest-throughput decodable configuration (ties broken by lower REPB;
+/// NaN throughput or REPB always loses, never panics).
 pub fn max_throughput(outcomes: &[TrialOutcome]) -> Option<TagConfig> {
     outcomes
         .iter()
         .filter(|o| o.decoded)
         .max_by(|a, b| {
-            let ta = a.config.throughput_bps();
-            let tb = b.config.throughput_bps();
-            ta.partial_cmp(&tb)
-                .unwrap()
-                .then(repb(&b.config).partial_cmp(&repb(&a.config)).unwrap())
+            let ta = nan_last_desc_key(a.config.throughput_bps());
+            let tb = nan_last_desc_key(b.config.throughput_bps());
+            // For the REPB tie-break, "a wins" means `Greater`: compare b's
+            // REPB against a's so the smaller (and never the NaN) REPB wins.
+            let ea = nan_last_asc_key(repb(&a.config));
+            let eb = nan_last_asc_key(repb(&b.config));
+            ta.total_cmp(&tb).then(eb.total_cmp(&ea))
         })
         .map(|o| o.config)
 }
@@ -47,8 +71,40 @@ pub fn min_repb_at_throughput(
     outcomes
         .iter()
         .filter(|o| o.decoded && o.config.throughput_bps() >= target_throughput_bps - 1e-6)
-        .min_by(|a, b| repb(&a.config).partial_cmp(&repb(&b.config)).unwrap())
+        .min_by(|a, b| {
+            nan_last_asc_key(repb(&a.config)).total_cmp(&nan_last_asc_key(repb(&b.config)))
+        })
         .map(|o| o.config)
+}
+
+/// The rate-fallback ladder: candidates sorted by throughput descending
+/// (REPB ascending within a throughput tier). Configurations with non-finite
+/// throughput are dropped — they cannot be ordered and could not carry data.
+pub fn fallback_ladder(candidates: &[TagConfig]) -> Vec<TagConfig> {
+    let mut v: Vec<TagConfig> = candidates
+        .iter()
+        .copied()
+        .filter(|c| c.throughput_bps().is_finite() && c.throughput_bps() > 0.0)
+        .collect();
+    v.sort_by(|a, b| {
+        b.throughput_bps()
+            .total_cmp(&a.throughput_bps())
+            .then(nan_last_asc_key(repb(a)).total_cmp(&nan_last_asc_key(repb(b))))
+    });
+    v
+}
+
+/// The next configuration strictly below `current` in throughput on the
+/// ladder (the CRC-failure retry step), or `None` at the bottom.
+pub fn next_lower(ladder: &[TagConfig], current: &TagConfig) -> Option<TagConfig> {
+    let t = current.throughput_bps();
+    if !t.is_finite() {
+        return ladder.first().copied();
+    }
+    ladder
+        .iter()
+        .copied()
+        .find(|c| c.throughput_bps() < t - 1e-6)
 }
 
 /// The (throughput, min-REPB) frontier over all decodable configurations:
@@ -60,7 +116,7 @@ pub fn energy_frontier(outcomes: &[TrialOutcome]) -> Vec<(f64, f64)> {
         .filter(|o| o.decoded)
         .map(|o| (o.config.throughput_bps(), repb(&o.config)))
         .collect();
-    points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    points.sort_by(|a, b| nan_last_asc_key(a.0).total_cmp(&nan_last_asc_key(b.0)));
     // Deduplicate equal throughputs, keeping the min REPB.
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (t, e) in points {
@@ -132,6 +188,47 @@ mod tests {
         for w in f.windows(2) {
             assert!(w[0].0 < w[1].0);
         }
+    }
+
+    #[test]
+    fn nan_throughput_cannot_win_or_panic() {
+        // A config with NaN symbol rate has NaN throughput and NaN REPB.
+        // Every policy must survive it and never select it.
+        let mut o = sample_outcomes();
+        o.push(outcome(TagModulation::Qpsk, CodeRate::Half, f64::NAN, true));
+        let best = max_throughput(&o).unwrap();
+        assert!(best.symbol_rate_hz.is_finite());
+        assert_eq!(best.code_rate, CodeRate::TwoThirds);
+        let cheap = min_repb_at_throughput(&o, 1.0e6).unwrap();
+        assert!(cheap.symbol_rate_hz.is_finite());
+        let f = energy_frontier(&o);
+        assert!(!f.is_empty()); // no panic; NaN rows sort last
+
+        // All-NaN input: policies return *something* without panicking, and
+        // a frontier over it stays well-formed.
+        let only_nan = vec![outcome(TagModulation::Bpsk, CodeRate::Half, f64::NAN, true)];
+        let _ = max_throughput(&only_nan);
+        let _ = energy_frontier(&only_nan);
+    }
+
+    #[test]
+    fn fallback_ladder_descends_and_skips_nan() {
+        let cfgs: Vec<TagConfig> = vec![
+            outcome(TagModulation::Qpsk, CodeRate::Half, 1e6, true).config, // 1.0 Mbps
+            outcome(TagModulation::Bpsk, CodeRate::Half, 1e6, true).config, // 0.5 Mbps
+            outcome(TagModulation::Psk16, CodeRate::Half, 1e6, true).config, // 2.0 Mbps
+            outcome(TagModulation::Qpsk, CodeRate::Half, f64::NAN, true).config,
+        ];
+        let ladder = fallback_ladder(&cfgs);
+        assert_eq!(ladder.len(), 3, "NaN config dropped");
+        for w in ladder.windows(2) {
+            assert!(w[0].throughput_bps() >= w[1].throughput_bps());
+        }
+        let top = ladder[0];
+        let mid = next_lower(&ladder, &top).unwrap();
+        assert!(mid.throughput_bps() < top.throughput_bps());
+        let bottom = next_lower(&ladder, &mid).unwrap();
+        assert!(next_lower(&ladder, &bottom).is_none(), "ladder bottoms out");
     }
 
     #[test]

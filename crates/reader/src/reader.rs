@@ -52,6 +52,10 @@ pub enum ReaderError {
     ChannelEstimationFailed,
     /// The payload window holds no complete symbol.
     NoSymbols,
+    /// The inputs are unusable: non-finite reference/environment samples, or
+    /// a received stream that is mostly non-finite (mirrors the
+    /// `linalg::solve` guard, but at the pipeline's front door).
+    InvalidInput,
 }
 
 impl std::fmt::Display for ReaderError {
@@ -60,6 +64,7 @@ impl std::fmt::Display for ReaderError {
             ReaderError::CancellationFailed => "self-interference cancellation failed",
             ReaderError::ChannelEstimationFailed => "forward/backward channel estimation failed",
             ReaderError::NoSymbols => "no complete tag symbols in the payload window",
+            ReaderError::InvalidInput => "non-finite samples in the reader inputs",
         };
         f.write_str(s)
     }
@@ -77,6 +82,7 @@ impl ReaderError {
             ReaderError::CancellationFailed => "reader.err.cancellation",
             ReaderError::ChannelEstimationFailed => "reader.err.chanest",
             ReaderError::NoSymbols => "reader.err.no_symbols",
+            ReaderError::InvalidInput => "reader.err.invalid_input",
         }
     }
 }
@@ -202,17 +208,23 @@ impl BackscatterReader {
                 den += s.ref_energy / n0;
                 inv_noise_den += s.ref_energy / n0;
             }
-            combined.push(SymbolEstimate {
-                z: num / den,
-                ref_energy: den,
-                noise_var: 1.0 / inv_noise_den.max(1e-300),
+            // Every branch erased this symbol ⇒ the combination stays an
+            // erasure (0/0 here would send NaN into the soft decoder).
+            combined.push(if den > 0.0 {
+                SymbolEstimate {
+                    z: num / den,
+                    ref_energy: den,
+                    noise_var: 1.0 / inv_noise_den.max(1e-300),
+                }
+            } else {
+                SymbolEstimate::erasure()
             });
         }
 
         // Take the best branch's bookkeeping, replace its symbols.
         let mut best = branches
             .into_iter()
-            .max_by(|a, b| a.snr_proxy().partial_cmp(&b.snr_proxy()).unwrap())
+            .max_by(|a, b| nan_loses_max(a.snr_proxy(), b.snr_proxy()))
             .unwrap();
         best.symbols = combined;
         Ok(self.finish(best, tag_cfg))
@@ -229,20 +241,101 @@ impl BackscatterReader {
     ) -> Result<Branch, ReaderError> {
         assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
 
+        // --- Stage 0: input validation / sanitization -------------------
+        // The reader's own reference and the analog canceller's view must be
+        // finite — a NaN there poisons every downstream filter silently.
+        if x_clean.iter().any(|v| !v.is_finite()) || h_env_view.iter().any(|v| !v.is_finite()) {
+            return Err(count_err(ReaderError::InvalidInput));
+        }
+        // Non-finite *received* samples are a front-end fault the pipeline
+        // can ride out: zero them (the AGC/canceller then ignores them) and
+        // remember where they were so the affected symbols become erasures.
+        // A stream that is mostly garbage is rejected outright.
+        let bad_rx: Vec<usize> = y_rx
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_finite())
+            .map(|(i, _)| i)
+            .collect();
+        if bad_rx.len() * 2 > y_rx.len() {
+            return Err(count_err(ReaderError::InvalidInput));
+        }
+        let sanitized: Option<Vec<Complex>> = (!bad_rx.is_empty()).then(|| {
+            backfi_obs::counter_add("reader.nonfinite_rx", bad_rx.len() as u64);
+            let mut y = y_rx.to_vec();
+            for &i in &bad_rx {
+                y[i] = Complex::ZERO;
+            }
+            y
+        });
+        let y_rx: &[Complex] = sanitized.as_deref().unwrap_or(y_rx);
+
         // --- Stage 1+2: self-interference cancellation -----------------
+        // Degradation ladder rung 1: if the residual diverges towards the
+        // end of the silent window (a time-varying effect like residual CFO
+        // that the LTI digital filter cannot track, or a transient that
+        // corrupted the head of the window), retrain on the trailing half
+        // and keep whichever training leaves the cleaner tail.
         let rep = {
             let _t = backfi_obs::span("reader.sic");
             let canceller = SelfInterferenceCanceller::new(self.cfg.canceller, h_env_view);
-            canceller
-                .process(x_clean, y_rx, timeline.silent.clone())
-                .ok_or_else(|| count_err(ReaderError::CancellationFailed))?
+            match canceller.process(x_clean, y_rx, timeline.silent.clone()) {
+                Some(rep) => self
+                    .sic_retrain(&canceller, x_clean, y_rx, timeline, &rep)
+                    .unwrap_or(rep),
+                None => {
+                    backfi_obs::counter_add("reader.sic_retrain", 1);
+                    let fallback = fallback_window(&timeline.silent);
+                    canceller
+                        .process(x_clean, y_rx, fallback)
+                        .ok_or_else(|| count_err(ReaderError::CancellationFailed))?
+                }
+            }
         };
         backfi_obs::probe("reader.cancellation_db", rep.cancellation_db);
         backfi_obs::probe("reader.residual_db", rep.residual_db);
-        let y = rep.samples;
         let noise_power = stats::undb(rep.residual_db);
 
+        // Erasure mask: non-finite input positions plus the ADC's *long*
+        // clipped runs. Isolated clipped samples (Gaussian tails crossing
+        // full scale) keep the seed behavior — only transient-scale runs,
+        // which ordinary operation essentially never produces, mark spans.
+        const CLIP_RUN_MIN: usize = 16;
+        let flag_prefix = {
+            let clip: Vec<&std::ops::Range<usize>> = rep
+                .clip_ranges
+                .iter()
+                .filter(|r| r.len() >= CLIP_RUN_MIN)
+                .collect();
+            if bad_rx.is_empty() && clip.is_empty() {
+                None
+            } else {
+                let mut flags = vec![0u32; y_rx.len() + 1];
+                for &i in &bad_rx {
+                    flags[i] = 1;
+                }
+                for r in clip {
+                    for f in &mut flags[r.clone()] {
+                        *f = 1;
+                    }
+                }
+                // In-place prefix sum: flags[i] = flagged samples in [0, i).
+                let mut acc = 0u32;
+                for f in flags.iter_mut() {
+                    let v = *f;
+                    *f = acc;
+                    acc += v;
+                }
+                Some(flags)
+            }
+        };
+        let y = rep.samples;
+
         // --- Stage 3: h_fb estimation with timing search ----------------
+        // Degradation ladder rung 2: when no nominal offset yields an
+        // estimate, re-acquire with a 3× wider, finer search before giving
+        // up. The clean path never gets here (the nominal search only fails
+        // when every candidate window escapes the buffer).
         let est = {
             let _t = backfi_obs::span("reader.chanest");
             let mut search: Vec<isize> = vec![0];
@@ -252,7 +345,7 @@ impl BackscatterReader {
                 search.push(-off);
                 off += 20;
             }
-            estimate_h_fb(
+            let nominal = estimate_h_fb(
                 x_clean,
                 &y,
                 timeline.preamble.start,
@@ -260,13 +353,37 @@ impl BackscatterReader {
                 self.cfg.fb_taps,
                 &search,
                 self.cfg.ridge,
-            )
-            .ok_or_else(|| count_err(ReaderError::ChannelEstimationFailed))?
+            );
+            nominal
+                .or_else(|| {
+                    backfi_obs::counter_add("reader.timing_reacquire", 1);
+                    let span = (self.cfg.timing_span as isize).max(20) * 3;
+                    let mut wide: Vec<isize> = vec![0];
+                    let mut off = 10isize;
+                    while off <= span {
+                        wide.push(off);
+                        wide.push(-off);
+                        off += 10;
+                    }
+                    estimate_h_fb(
+                        x_clean,
+                        &y,
+                        timeline.preamble.start,
+                        tag_cfg.preamble_us,
+                        self.cfg.fb_taps,
+                        &wide,
+                        self.cfg.ridge,
+                    )
+                })
+                .ok_or_else(|| count_err(ReaderError::ChannelEstimationFailed))?
         };
         backfi_obs::probe("reader.timing_offset_samples", est.offset as f64);
         let timeline = timeline.shifted(est.offset);
 
         // --- Stage 4: MRC over every payload symbol ---------------------
+        // Degradation ladder rung 3: symbol windows dominated by flagged
+        // (saturated/non-finite) samples become erasures — zero LLRs into
+        // the soft Viterbi — instead of confident wrong decisions.
         let _t_mrc = backfi_obs::span("reader.mrc");
         let reference = backfi_dsp::fir::filter(&est.h_fb, x_clean);
         let sps = tag_cfg.samples_per_symbol();
@@ -276,11 +393,21 @@ impl BackscatterReader {
         }
         let guard = self.cfg.fb_taps; // §4.3.2's boundary guard
         let mut symbols = Vec::with_capacity(nsym);
+        let mut erased = 0u64;
         for i in 0..nsym {
             let s = timeline.payload.start + i * sps;
             let e = (s + sps).min(y.len());
             if e <= s + guard {
                 break;
+            }
+            if let Some(p) = &flag_prefix {
+                let usable = e - (s + guard);
+                let flagged = (p[e] - p[s + guard]) as usize;
+                if flagged * 4 >= usable {
+                    symbols.push(SymbolEstimate::erasure());
+                    erased += 1;
+                    continue;
+                }
             }
             let estimate = if self.cfg.use_zero_forcing {
                 zf_symbol(&y[s..e], &reference[s..e], guard).map(|z| SymbolEstimate {
@@ -292,9 +419,16 @@ impl BackscatterReader {
                 mrc_symbol(&y[s..e], &reference[s..e], guard, noise_power)
             };
             match estimate {
-                Some(v) => symbols.push(v),
+                Some(v) if v.z.is_finite() => symbols.push(v),
+                Some(_) => {
+                    symbols.push(SymbolEstimate::erasure());
+                    erased += 1;
+                }
                 None => break,
             }
+        }
+        if erased > 0 {
+            backfi_obs::counter_add("reader.erasures", erased);
         }
         if symbols.len() <= backfi_tag::framer::PILOT_SYMBOLS {
             return Err(count_err(ReaderError::NoSymbols));
@@ -306,6 +440,44 @@ impl BackscatterReader {
             h_fb: est.h_fb,
             timing_offset: est.offset,
         })
+    }
+
+    /// SIC divergence check + retrain (degradation ladder rung 1).
+    ///
+    /// Compares the residual over the *trailing* quarter of the silent
+    /// window against the *leading* quarter (after the filter-settling
+    /// trim). A hot tail means the whole-window fit is diverging in time —
+    /// a transient corrupted part of the window, the stream truncated, or a
+    /// time-varying effect is outrunning the LTI filter. Retrain on the
+    /// trailing half (closest to the payload) and keep whichever training
+    /// leaves the cleaner tail. Returns `None` to keep the original report;
+    /// the 6 dB margin is far beyond clean-run fluctuation (≲ 1 dB between
+    /// two 80-sample quarters), so the clean path never retrains.
+    fn sic_retrain(
+        &self,
+        canceller: &SelfInterferenceCanceller,
+        x_clean: &[Complex],
+        y_rx: &[Complex],
+        timeline: &Timeline,
+        rep: &backfi_sic::CancellerReport,
+    ) -> Option<backfi_sic::CancellerReport> {
+        const DIVERGENCE_DB: f64 = 6.0;
+        let silent = &timeline.silent;
+        let q = silent.len() / 4;
+        let head_start = silent.start + self.cfg.canceller.digital_taps;
+        if q == 0 || head_start + q > silent.end - q {
+            return None;
+        }
+        let tail = (silent.end - q)..silent.end;
+        let head_db = stats::mean_power_db(&rep.samples[head_start..head_start + q]);
+        let tail_db = stats::mean_power_db(&rep.samples[tail.clone()]);
+        if !tail_db.is_finite() || !head_db.is_finite() || tail_db <= head_db + DIVERGENCE_DB {
+            return None;
+        }
+        backfi_obs::counter_add("reader.sic_retrain", 1);
+        let rep2 = canceller.process(x_clean, y_rx, fallback_window(silent))?;
+        let tail2_db = stats::mean_power_db(&rep2.samples[tail]);
+        (tail2_db < tail_db).then_some(rep2)
     }
 
     /// Shared back half: pilot phase anchor → decision-directed phase
@@ -373,6 +545,19 @@ impl BackscatterReader {
     }
 }
 
+/// Total order on `f64` where NaN always loses a max selection (sorts below
+/// `-∞`); identical to `partial_cmp` for finite values, but panic-free.
+fn nan_loses_max(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+    key(a).total_cmp(&key(b))
+}
+
+/// The trailing half of the silent window — the SIC retrain fallback
+/// (closest to the payload, and past any transient that corrupted the head).
+fn fallback_window(silent: &std::ops::Range<usize>) -> std::ops::Range<usize> {
+    (silent.start + silent.len() / 2)..silent.end
+}
+
 /// One antenna's demodulated view of the packet.
 struct Branch {
     symbols: Vec<SymbolEstimate>,
@@ -407,6 +592,17 @@ mod tests {
         tag_cfg: TagConfig,
         seed: u64,
     ) -> (Result<TagDecodeResult, ReaderError>, Vec<u8>) {
+        run_link_mut(distance, tag_cfg, seed, |_| {})
+    }
+
+    /// [`run_link`] with a hook that corrupts the received samples before
+    /// they reach the reader (the fault-injection tests' entry point).
+    fn run_link_mut(
+        distance: f64,
+        tag_cfg: TagConfig,
+        seed: u64,
+        corrupt: impl Fn(&mut [Complex]),
+    ) -> (Result<TagDecodeResult, ReaderError>, Vec<u8>) {
         use backfi_tag::detector::SAMPLES_PER_BIT;
 
         // Excitation: idle, wake-up pulses for tag 1, then wideband "data".
@@ -440,8 +636,9 @@ mod tests {
         let gamma = tag.react(&incident);
 
         // Propagate and decode.
-        let y_full = medium.propagate(&x, &gamma);
+        let mut y_full = medium.propagate(&x, &gamma);
         let x_scaled: Vec<Complex> = x.iter().map(|&v| v * a).collect();
+        corrupt(&mut y_full[..x.len()]);
         let y = &y_full[..x.len()];
         let timeline = Timeline::nominal(detect_end, excitation_end, &tag_cfg);
         let reader = BackscatterReader::default();
@@ -585,5 +782,110 @@ mod tests {
             },
             ReaderError::NoSymbols,
         );
+
+        // Non-finite reference samples: rejected at the front door.
+        let timeline = Timeline {
+            silent: 0..400,
+            preamble: 400..1040,
+            payload: 1040..n,
+        };
+        let mut x_bad = x.clone();
+        x_bad[17] = Complex::new(f64::NAN, 0.0);
+        let before = backfi_obs::counter_value(ReaderError::InvalidInput.obs_counter());
+        let got = reader
+            .decode(&x_bad, &y, &h_env, &timeline, &tag_cfg)
+            .expect_err("NaN reference must fail");
+        assert_eq!(got, ReaderError::InvalidInput);
+        // Non-finite analog-canceller view: same guard.
+        let mut h_bad = h_env.clone();
+        h_bad[0] = Complex::new(f64::INFINITY, 0.0);
+        let got = reader
+            .decode(&x, &y, &h_bad, &timeline, &tag_cfg)
+            .expect_err("Inf h_env must fail");
+        assert_eq!(got, ReaderError::InvalidInput);
+        // A mostly-NaN received stream: unusable.
+        let mut y_bad = y.clone();
+        for v in y_bad.iter_mut().take(2 * n / 3) {
+            *v = Complex::new(f64::NAN, f64::NAN);
+        }
+        let got = reader
+            .decode(&x, &y_bad, &h_env, &timeline, &tag_cfg)
+            .expect_err("mostly-NaN stream must fail");
+        assert_eq!(got, ReaderError::InvalidInput);
+        let after = backfi_obs::counter_value(ReaderError::InvalidInput.obs_counter());
+        assert_eq!(after, before + 3, "each InvalidInput must be counted");
+    }
+
+    /// A handful of NaN samples in the received stream must be survivable:
+    /// they are zeroed, their symbols become erasures, and the frame still
+    /// decodes through the FEC.
+    #[test]
+    fn few_nonfinite_rx_samples_decode_gracefully() {
+        let cfg = TagConfig::default();
+        let (res, data) = run_link_mut(1.0, cfg, 42, |y| {
+            let mid = y.len() / 2;
+            for v in &mut y[mid..mid + 8] {
+                *v = Complex::new(f64::NAN, f64::NAN);
+            }
+        });
+        let res = res.expect("graceful path must produce a decode");
+        assert_eq!(
+            res.payload.as_ref().expect("CRC should still pass"),
+            &data,
+            "8 erased samples are well within the FEC's budget"
+        );
+    }
+
+    /// A strong blocker railing the ADC mid-payload: the clipped span's
+    /// symbols become erasures and the decode path must not panic. With a
+    /// short transient the FEC usually still recovers the frame.
+    #[test]
+    fn saturation_transient_is_survivable() {
+        backfi_obs::enable();
+        let cfg = TagConfig::default();
+        let before = backfi_obs::counter_value("reader.erasures");
+        let (res, _data) = run_link_mut(1.0, cfg, 42, |y| {
+            let mid = y.len() / 2;
+            for v in &mut y[mid..mid + 300] {
+                *v = Complex::new(1.0, -1.0); // ~60 dB above the SI level
+            }
+        });
+        // Graceful: either a decode attempt (CRC pass or fail) or a typed
+        // error — never a panic or a NaN-poisoned result.
+        if let Ok(r) = res {
+            assert!(
+                r.metrics.symbol_snr_db.is_finite() || r.symbols.iter().all(|s| s.is_erasure())
+            );
+            let after = backfi_obs::counter_value("reader.erasures");
+            assert!(after > before, "clipped span should erase symbols");
+        }
+    }
+
+    /// Corrupting the tail of the silent window forces the SIC divergence
+    /// detector to fire and attempt a fallback-window retrain.
+    #[test]
+    fn sic_divergence_triggers_retrain() {
+        use backfi_tag::detector::SAMPLES_PER_BIT;
+        backfi_obs::enable();
+        let cfg = TagConfig::default();
+        // Reconstruct the timeline run_link_mut builds internally.
+        let detect_end = 200 + backfi_coding::prbs::tag_preamble(1).len() * SAMPLES_PER_BIT;
+        let silent = Timeline::nominal(
+            detect_end,
+            detect_end + backfi_dsp::us_to_samples(1500.0),
+            &cfg,
+        )
+        .silent;
+        let before = backfi_obs::counter_value("reader.sic_retrain");
+        let (res, _data) = run_link_mut(1.0, cfg, 42, |y| {
+            let q = silent.len() / 4;
+            for v in &mut y[silent.end - q..silent.end] {
+                *v += Complex::new(0.5, 0.5); // blocker burst in the tail
+            }
+        });
+        let after = backfi_obs::counter_value("reader.sic_retrain");
+        assert!(after > before, "divergence detector should have fired");
+        // Graceful ladder: a typed result either way, no panic.
+        let _ = res;
     }
 }

@@ -55,6 +55,10 @@ pub struct CancellerReport {
     pub cancellation_db: f64,
     /// Fraction of post-analog samples that clipped in the ADC.
     pub adc_clip_fraction: f64,
+    /// Maximal runs of consecutive clipped samples (sorted, disjoint).
+    /// Saturation transients show up here as long runs; the reader marks
+    /// heavily clipped symbol windows as erasures.
+    pub clip_ranges: Vec<std::ops::Range<usize>>,
 }
 
 /// The reader's self-interference canceller.
@@ -117,11 +121,11 @@ impl SelfInterferenceCanceller {
             let rms = stats::rms(&after_analog);
             let full_scale = rms * 10f64.powf(self.cfg.agc_headroom_db / 20.0);
             let adc = backfi_chan_adc(self.cfg.adc_bits, full_scale.max(1e-30));
-            let adc_clip_fraction = adc.clip_fraction(&after_analog);
+            let (adc_clip_fraction, clip_ranges) = adc.clip_scan(&after_analog);
             backfi_obs::probe("sic.adc_clip_fraction", adc_clip_fraction);
-            (adc.convert(&after_analog), adc_clip_fraction)
+            (adc.convert(&after_analog), adc_clip_fraction, clip_ranges)
         };
-        let (digitized, adc_clip_fraction) = digitized;
+        let (digitized, adc_clip_fraction, clip_ranges) = digitized;
 
         // Stage 2: digital subtraction, trained on the silent window.
         let samples = if self.cfg.digital_enabled {
@@ -144,6 +148,7 @@ impl SelfInterferenceCanceller {
             input_si_db,
             residual_db,
             adc_clip_fraction,
+            clip_ranges,
             samples,
         })
     }
@@ -184,14 +189,24 @@ impl AdcModel {
             })
             .collect()
     }
-    fn clip_fraction(&self, x: &[Complex]) -> f64 {
+    /// One pass over the samples: the clipped fraction plus the maximal runs
+    /// of consecutive clipped samples.
+    fn clip_scan(&self, x: &[Complex]) -> (f64, Vec<std::ops::Range<usize>>) {
         if x.is_empty() {
-            return 0.0;
+            return (0.0, Vec::new());
         }
-        x.iter()
-            .filter(|v| v.re.abs() >= self.full_scale || v.im.abs() >= self.full_scale)
-            .count() as f64
-            / x.len() as f64
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut clipped = 0usize;
+        for (i, v) in x.iter().enumerate() {
+            if v.re.abs() >= self.full_scale || v.im.abs() >= self.full_scale {
+                clipped += 1;
+                match ranges.last_mut() {
+                    Some(r) if r.end == i => r.end = i + 1,
+                    _ => ranges.push(i..i + 1),
+                }
+            }
+        }
+        (clipped as f64 / x.len() as f64, ranges)
     }
 }
 
@@ -303,6 +318,39 @@ mod tests {
         assert!(
             db(out_power / tag_power).abs() < 3.0,
             "out {out_power:e} tag {tag_power:e}"
+        );
+    }
+
+    #[test]
+    fn clip_ranges_account_for_every_clipped_sample() {
+        // A blocker transient far above the stream rms rails the ADC (the
+        // AGC tracks the whole-packet rms, not the burst). The reported runs
+        // must cover exactly the clipped fraction and be maximal (sorted,
+        // with a gap between consecutive runs) and include the burst span.
+        let (x, mut y, h_env) = scene(6, 4000, 1e-9);
+        let burst = 2000..2040;
+        let amp = 1e3 * stats::rms(&y);
+        for v in &mut y[burst.clone()] {
+            *v = Complex::new(amp, -amp);
+        }
+        let cfg = CancellerConfig {
+            analog_enabled: false,
+            ..Default::default()
+        };
+        let c = SelfInterferenceCanceller::new(cfg, &h_env);
+        let rep = c.process(&x, &y, 0..320).unwrap();
+        let total: usize = rep.clip_ranges.iter().map(|r| r.len()).sum();
+        assert!(total >= burst.len(), "burst should saturate: {total}");
+        assert!((total as f64 / rep.samples.len() as f64 - rep.adc_clip_fraction).abs() < 1e-12);
+        for w in rep.clip_ranges.windows(2) {
+            assert!(w[0].end < w[1].start, "runs must be maximal and sorted");
+        }
+        assert!(
+            rep.clip_ranges
+                .iter()
+                .any(|r| r.start <= burst.start && r.end >= burst.end),
+            "one maximal run must cover the burst: {:?}",
+            rep.clip_ranges
         );
     }
 
