@@ -44,6 +44,11 @@ fn bench_wifi_tx(rep: &mut BenchReport, short: bool) {
     );
 }
 
+/// Receive throughput recorded by the pre-SoA/SIMD pipeline
+/// (`BENCH_pipeline.json` as committed by PR 2) — the denominator of the
+/// asserted speedup gate below.
+const WIFI_RX_BASELINE_SAMPLES_PER_SEC: f64 = 789_399.101;
+
 fn bench_wifi_rx(rep: &mut BenchReport, short: bool) {
     let tx = WifiTransmitter::new();
     let rx = WifiReceiver::default();
@@ -53,7 +58,7 @@ fn bench_wifi_rx(rep: &mut BenchReport, short: bool) {
     let mut rng = SplitMix64::new(1);
     add_noise(&mut rng, &mut buf, 1e-4);
     let n = buf.len();
-    rep.measure(
+    let ns = rep.measure(
         "wifi_rx_500B_24mbps",
         "auto",
         n,
@@ -64,19 +69,35 @@ fn bench_wifi_rx(rep: &mut BenchReport, short: bool) {
             black_box(rx.receive(black_box(&buf)).is_ok());
         },
     );
+    // Asserted speedup gate (same contract as the PR 2 kernel gates): the
+    // batched-Viterbi + fused-demapper receive path must hold its measured
+    // advantage over the recorded scalar baseline, or the bench run fails.
+    // `--short` smoke runs use a looser floor to absorb CI timer noise.
+    let samples_per_sec = n as f64 / (ns * 1e-9);
+    let floor = if short { 3.0 } else { 5.0 };
+    assert!(
+        samples_per_sec >= floor * WIFI_RX_BASELINE_SAMPLES_PER_SEC,
+        "wifi_rx regression: {samples_per_sec:.0} samples/s < {floor}x baseline {WIFI_RX_BASELINE_SAMPLES_PER_SEC:.0}"
+    );
 }
 
 fn bench_full_link(rep: &mut BenchReport, short: bool) {
     let mut cfg = LinkConfig::at_distance(1.0);
     cfg.excitation.wifi_payload_bytes = 1200;
     let sim = LinkSimulator::new(cfg);
+    // One "iteration" processes the whole excitation capture, so the
+    // per-second figure must be charged against its sample count — a zero
+    // here used to make the record claim 0 samples/s (and the CI validator
+    // now rejects such records outright).
+    let n = sim.excitation().samples.len();
+    assert!(n > 0, "link excitation produced no samples");
     let mut seed = 0u64;
     rep.measure(
         "backfi_link_exchange_0p5ms",
         "auto",
+        n,
         0,
-        0,
-        0,
+        n,
         iters(10, short),
         || {
             seed += 1;

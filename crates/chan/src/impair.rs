@@ -447,12 +447,16 @@ fn global_cell() -> &'static RwLock<Impairments> {
 /// The process-wide default impairment configuration, seeded from the
 /// `BACKFI_IMPAIR` env var on first use (`LinkConfig::at_distance` reads it).
 pub fn global() -> Impairments {
-    *global_cell().read().unwrap()
+    *global_cell()
+        .read()
+        .expect("impairment lock poisoned: a config writer panicked")
 }
 
 /// Override the process-wide default (the `--impair` CLI path).
 pub fn set_global(imp: Impairments) {
-    *global_cell().write().unwrap() = imp;
+    *global_cell()
+        .write()
+        .expect("impairment lock poisoned: a config writer panicked") = imp;
 }
 
 #[cfg(test)]

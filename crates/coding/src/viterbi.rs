@@ -45,12 +45,66 @@ impl Trellis {
     }
 }
 
+/// Butterfly form of a rate-1/2 trellis for the batched add-compare-select.
+///
+/// For any feedforward rate-1/2 code built like [`Trellis::new`], next-state
+/// `j` (input 0) and `j + half` (input 1) are both fed by predecessors `2j`
+/// and `2j+1`. When both generators tap the newest (bit `k−1`) and oldest
+/// (bit `0`) register bits — true for the K=7 (133, 171) code and every
+/// code with free-distance-optimal generators — the four branch outputs of
+/// the butterfly collapse to one value `a = out[2j][0]` and its complement
+/// `a^3`, so the four branch metrics are `±v_j` with
+/// `v_j = s0[j]·m0 + s1[j]·m1`. That removes the per-edge table lookups and
+/// makes the ACS loop branchless and lane-parallel across `j`.
+///
+/// Construction verifies the butterfly relations structurally and returns
+/// `None` when they don't hold, falling back to the direct path.
+#[derive(Clone, Debug)]
+struct BatchedTrellis {
+    /// Sign of `m0` in `v_j` (+1 when branch output bit 0 is 1).
+    s0: Vec<f64>,
+    /// Sign of `m1` in `v_j` (+1 when branch output bit 1 is 1).
+    s1: Vec<f64>,
+}
+
+impl BatchedTrellis {
+    fn build(trellis: &Trellis) -> Option<Self> {
+        let ns = trellis.states;
+        if ns < 2 {
+            return None;
+        }
+        let half = ns / 2;
+        let mut s0 = Vec::with_capacity(half);
+        let mut s1 = Vec::with_capacity(half);
+        for j in 0..half {
+            let a = trellis.out[2 * j][0];
+            let butterfly_codes = trellis.out[2 * j + 1][0] == a ^ 3
+                && trellis.out[2 * j][1] == a ^ 3
+                && trellis.out[2 * j + 1][1] == a;
+            let butterfly_edges = trellis.next[2 * j][0] == j as u32
+                && trellis.next[2 * j + 1][0] == j as u32
+                && trellis.next[2 * j][1] == (j + half) as u32
+                && trellis.next[2 * j + 1][1] == (j + half) as u32;
+            if !butterfly_codes || !butterfly_edges {
+                return None;
+            }
+            s0.push(if a & 1 == 1 { 1.0 } else { -1.0 });
+            s1.push(if a & 2 == 2 { 1.0 } else { -1.0 });
+        }
+        Some(BatchedTrellis { s0, s1 })
+    }
+}
+
 /// A Viterbi decoder for the K=7 (133, 171) code, shared by the WiFi receiver
 /// and the BackFi reader.
 #[derive(Clone, Debug)]
 pub struct ViterbiDecoder {
     trellis: Trellis,
     k: usize,
+    /// Butterfly ACS tables when the code's structure admits them.
+    batched: Option<BatchedTrellis>,
+    /// `with_simd(false)`: pin [`Self::run`] to the direct reference path.
+    force_direct: bool,
 }
 
 impl Default for ViterbiDecoder {
@@ -62,24 +116,35 @@ impl Default for ViterbiDecoder {
 impl ViterbiDecoder {
     /// Decoder for the standard K=7 (133, 171) code.
     pub fn ieee80211() -> Self {
-        ViterbiDecoder {
-            trellis: Trellis::new(
-                crate::conv::CONSTRAINT_LENGTH,
-                crate::conv::G0,
-                crate::conv::G1,
-            ),
-            k: crate::conv::CONSTRAINT_LENGTH,
-        }
+        Self::new(
+            crate::conv::CONSTRAINT_LENGTH,
+            crate::conv::G0,
+            crate::conv::G1,
+        )
     }
 
     /// Decoder for a custom rate-1/2 code matching
     /// [`ConvEncoder::new`](crate::conv::ConvEncoder::new).
     pub fn new(k: usize, g0: u32, g1: u32) -> Self {
         assert!((2..=16).contains(&k), "constraint length must be in 2..=16");
+        let trellis = Trellis::new(k, g0, g1);
+        let batched = BatchedTrellis::build(&trellis);
         ViterbiDecoder {
-            trellis: Trellis::new(k, g0, g1),
+            trellis,
             k,
+            batched,
+            force_direct: false,
         }
+    }
+
+    /// Builder: enable (`true`, the default) or disable the batched
+    /// vectorization-friendly ACS path. With `false`, every decode runs the
+    /// direct reference loop — used by the scalar-fallback tests. The two
+    /// paths produce identical bits for all inputs (including NaN/±∞
+    /// metrics), so this only changes speed.
+    pub fn with_simd(mut self, on: bool) -> Self {
+        self.force_direct = !on;
+        self
     }
 
     /// Soft-decision decode of a **terminated** frame.
@@ -110,6 +175,32 @@ impl ViterbiDecoder {
         self.run(soft, steps, false)
     }
 
+    /// Reference form of [`Self::decode_soft_terminated`] that always runs
+    /// the direct (state-by-state, branchy) ACS loop, bypassing the batched
+    /// dispatch. Pinned against the fast path by the `_equiv` tests.
+    ///
+    /// # Panics
+    /// Panics if `soft.len()` is odd or shorter than the tail.
+    pub fn decode_soft_terminated_direct(&self, soft: &[f64]) -> Vec<bool> {
+        assert_eq!(soft.len() % 2, 0, "soft stream must have even length");
+        let steps = soft.len() / 2;
+        let tail = self.k - 1;
+        assert!(steps >= tail, "frame shorter than the code tail");
+        let decided = self.run_direct(soft, steps, true);
+        decided[..steps - tail].to_vec()
+    }
+
+    /// Reference form of [`Self::decode_soft_truncated`] that always runs
+    /// the direct ACS loop, bypassing the batched dispatch.
+    ///
+    /// # Panics
+    /// Panics if `soft.len()` is odd.
+    pub fn decode_soft_truncated_direct(&self, soft: &[f64]) -> Vec<bool> {
+        assert_eq!(soft.len() % 2, 0, "soft stream must have even length");
+        let steps = soft.len() / 2;
+        self.run_direct(soft, steps, false)
+    }
+
     /// Hard-decision decode of a terminated frame: bits are mapped to ±1
     /// metrics internally.
     pub fn decode_hard_terminated(&self, bits: &[bool]) -> Vec<bool> {
@@ -131,8 +222,21 @@ impl ViterbiDecoder {
         self.decode_soft_terminated(&soft)
     }
 
-    /// Core add-compare-select + traceback.
+    /// Dispatch: batched butterfly ACS when the code admits it and SIMD
+    /// hasn't been disabled, else the direct reference loop. Both produce
+    /// identical bits for every input.
     fn run(&self, soft: &[f64], steps: usize, terminated: bool) -> Vec<bool> {
+        match &self.batched {
+            Some(b) if !self.force_direct && !simd_env_disabled() => {
+                self.run_batched(b, soft, steps, terminated)
+            }
+            _ => self.run_direct(soft, steps, terminated),
+        }
+    }
+
+    /// Direct add-compare-select: state-by-state with per-edge table lookups
+    /// and a data-dependent compare branch. Reference implementation.
+    fn run_direct(&self, soft: &[f64], steps: usize, terminated: bool) -> Vec<bool> {
         let ns = self.trellis.states;
         const NEG: f64 = f64::NEG_INFINITY;
         let mut metric = vec![NEG; ns];
@@ -168,28 +272,286 @@ impl ViterbiDecoder {
             std::mem::swap(&mut metric, &mut metric_next);
         }
 
-        // Traceback.
-        let mut state = if terminated {
-            0usize
-        } else {
-            // NaN-poisoned path metrics (corrupted LLR inputs) must lose the
-            // comparison, not panic it: map NaN below -inf, then total order.
-            let key = |m: &f64| if m.is_nan() { f64::NEG_INFINITY } else { *m };
-            metric
-                .iter()
-                .enumerate()
-                .max_by(|a, b| key(a.1).total_cmp(&key(b.1)))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
-        };
-        let mut bits = vec![false; steps];
-        for t in (0..steps).rev() {
-            let packed = survivor[t * ns + state];
-            bits[t] = packed >> 31 == 1;
-            state = (packed & 0x7FFF_FFFF) as usize;
-        }
-        bits
+        traceback(&survivor, &metric, ns, steps, terminated)
     }
+
+    /// Batched butterfly ACS: per butterfly `j`, the four edge metrics are
+    /// `±v_j`, and the two winners are picked branchlessly — no per-edge
+    /// lookups, no data-dependent branches (the direct loop's compare branch
+    /// is ~random on real LLRs and its mispredicts dominate decode time).
+    ///
+    /// Produces bit-identical decisions to [`Self::run_direct`]:
+    /// * `s·m` with `s = ±1.0` equals `±m` bitwise, so `v_j` equals the
+    ///   direct loop's branch metric, and `pm − v` ≡ `pm + (−v)` in IEEE;
+    /// * a predecessor at `−∞` (unreachable) yields a candidate of `−∞` (or
+    ///   NaN when `v = ±∞`, sanitized to `−∞`), which loses every strict
+    ///   comparison — exactly like the direct loop's skip;
+    /// * NaN candidates are sanitized to `−∞`, matching `NaN > x == false`;
+    /// * ties keep the even predecessor, matching the direct loop's strict
+    ///   `>` update with ascending state order;
+    /// * a state whose winner is `−∞` stores survivor 0, matching the
+    ///   never-written initial value in the direct loop.
+    fn run_batched(
+        &self,
+        b: &BatchedTrellis,
+        soft: &[f64],
+        steps: usize,
+        terminated: bool,
+    ) -> Vec<bool> {
+        let ns = self.trellis.states;
+        let half = ns / 2;
+        const NEG: f64 = f64::NEG_INFINITY;
+        let mut metric = vec![NEG; ns];
+        metric[0] = 0.0; // encoder starts from state 0
+        let mut metric_next = vec![NEG; ns];
+        let mut survivor = vec![0u32; steps * ns];
+        let mut v = vec![0.0f64; half];
+
+        #[cfg(target_arch = "x86_64")]
+        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+
+        for t in 0..steps {
+            let m0 = soft[2 * t];
+            let m1 = soft[2 * t + 1];
+            let surv = &mut survivor[t * ns..(t + 1) * ns];
+            #[cfg(target_arch = "x86_64")]
+            if avx2 {
+                // SAFETY: AVX2 presence established by runtime detection.
+                unsafe {
+                    acs_step_avx2(
+                        &b.s0,
+                        &b.s1,
+                        m0,
+                        m1,
+                        &metric,
+                        &mut metric_next,
+                        surv,
+                        &mut v,
+                    )
+                };
+                std::mem::swap(&mut metric, &mut metric_next);
+                continue;
+            }
+            acs_step(
+                &b.s0,
+                &b.s1,
+                m0,
+                m1,
+                &metric,
+                &mut metric_next,
+                surv,
+                &mut v,
+            );
+            std::mem::swap(&mut metric, &mut metric_next);
+        }
+
+        traceback(&survivor, &metric, ns, steps, terminated)
+    }
+}
+
+/// `BACKFI_SIMD=off|0|scalar` pins the decoder to the direct reference loop
+/// (same convention as `backfi_dsp::simd`; this crate has no dsp dependency,
+/// so the check is duplicated here).
+fn simd_env_disabled() -> bool {
+    use std::sync::OnceLock;
+    static OFF: OnceLock<bool> = OnceLock::new();
+    *OFF.get_or_init(|| {
+        matches!(
+            std::env::var("BACKFI_SIMD").as_deref(),
+            Ok("off") | Ok("0") | Ok("scalar")
+        )
+    })
+}
+
+/// One trellis step of the butterfly ACS (see
+/// [`ViterbiDecoder::run_batched`] for the equivalence argument).
+/// `metric_next` and `surv` are fully overwritten.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn acs_step(
+    s0: &[f64],
+    s1: &[f64],
+    m0: f64,
+    m1: f64,
+    metric: &[f64],
+    metric_next: &mut [f64],
+    surv: &mut [u32],
+    v: &mut [f64],
+) {
+    const NEG: f64 = f64::NEG_INFINITY;
+    let half = s0.len();
+    for j in 0..half {
+        v[j] = s0[j] * m0 + s1[j] * m1;
+    }
+    let (lo, hi) = metric_next.split_at_mut(half);
+    let (slo, shi) = surv.split_at_mut(half);
+    for j in 0..half {
+        let pm0 = metric[2 * j];
+        let pm1 = metric[2 * j + 1];
+        let vj = v[j];
+        let base = (2 * j) as u32;
+        // input 0 → state j: candidates pm0 + v (from 2j), pm1 − v (from 2j+1)
+        let c0 = pm0 + vj;
+        let c1 = pm1 - vj;
+        let k0 = if c0.is_nan() { NEG } else { c0 };
+        let k1 = if c1.is_nan() { NEG } else { c1 };
+        let take1 = k1 > k0;
+        let m = if take1 { k1 } else { k0 };
+        lo[j] = m;
+        slo[j] = if m == NEG { 0 } else { base + take1 as u32 };
+        // input 1 → state j+half: candidates pm0 − v, pm1 + v
+        let d0 = pm0 - vj;
+        let d1 = pm1 + vj;
+        let q0 = if d0.is_nan() { NEG } else { d0 };
+        let q1 = if d1.is_nan() { NEG } else { d1 };
+        let t1 = q1 > q0;
+        let q = if t1 { q1 } else { q0 };
+        hi[j] = q;
+        shi[j] = if q == NEG {
+            0
+        } else {
+            (base + t1 as u32) | (1 << 31)
+        };
+    }
+}
+
+/// Hand-vectorized AVX2 instantiation of [`acs_step`]: four butterflies per
+/// iteration. Bit-identical to the portable body — every lane performs the
+/// same IEEE add/sub/mul and the same compare/select sequence (no FMA
+/// contraction, NaN candidates blended to −∞ exactly like the scalar
+/// `is_nan` select), so `metric_next`/`surv` match `acs_step` bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn acs_step_avx2(
+    s0: &[f64],
+    s1: &[f64],
+    m0: f64,
+    m1: f64,
+    metric: &[f64],
+    metric_next: &mut [f64],
+    surv: &mut [u32],
+    _v: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    const NEG: f64 = f64::NEG_INFINITY;
+    let half = s0.len();
+    let (lo, hi) = metric_next.split_at_mut(half);
+    let (slo, shi) = surv.split_at_mut(half);
+    let m0v = _mm256_set1_pd(m0);
+    let m1v = _mm256_set1_pd(m1);
+    let negv = _mm256_set1_pd(NEG);
+    let hibit = _mm256_set1_epi64x(1i64 << 31);
+    // Picks the low 32-bit word of each 64-bit survivor lane for the packed
+    // u32 store (values are ≤ 2·half+1 | bit31, so the high word is zero).
+    let pack32 = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    let mut j = 0usize;
+    while j + 4 <= half {
+        let s0v = _mm256_loadu_pd(s0.as_ptr().add(j));
+        let s1v = _mm256_loadu_pd(s1.as_ptr().add(j));
+        let vv = _mm256_add_pd(_mm256_mul_pd(s0v, m0v), _mm256_mul_pd(s1v, m1v));
+        // Deinterleave metric[2j..2j+8] into pm0 (even) / pm1 (odd) lanes.
+        let a = _mm256_loadu_pd(metric.as_ptr().add(2 * j));
+        let b = _mm256_loadu_pd(metric.as_ptr().add(2 * j + 4));
+        let t0 = _mm256_permute2f128_pd(a, b, 0x20);
+        let t1 = _mm256_permute2f128_pd(a, b, 0x31);
+        let pm0 = _mm256_unpacklo_pd(t0, t1);
+        let pm1 = _mm256_unpackhi_pd(t0, t1);
+        let basev = _mm256_setr_epi64x(
+            (2 * j) as i64,
+            (2 * j + 2) as i64,
+            (2 * j + 4) as i64,
+            (2 * j + 6) as i64,
+        );
+        // input 0 → states j..j+4: candidates pm0 + v, pm1 − v.
+        let c0 = _mm256_add_pd(pm0, vv);
+        let c1 = _mm256_sub_pd(pm1, vv);
+        let k0 = _mm256_blendv_pd(c0, negv, _mm256_cmp_pd(c0, c0, _CMP_UNORD_Q));
+        let k1 = _mm256_blendv_pd(c1, negv, _mm256_cmp_pd(c1, c1, _CMP_UNORD_Q));
+        let gt = _mm256_cmp_pd(k1, k0, _CMP_GT_OQ);
+        let m = _mm256_blendv_pd(k0, k1, gt);
+        _mm256_storeu_pd(lo.as_mut_ptr().add(j), m);
+        let take1 = _mm256_srli_epi64::<63>(_mm256_castpd_si256(gt));
+        let s64 = _mm256_add_epi64(basev, take1);
+        let zmask = _mm256_castpd_si256(_mm256_cmp_pd(m, negv, _CMP_EQ_OQ));
+        let s64 = _mm256_andnot_si256(zmask, s64);
+        let packed = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(s64, pack32));
+        _mm_storeu_si128(slo.as_mut_ptr().add(j) as *mut __m128i, packed);
+        // input 1 → states j+half..j+half+4: candidates pm0 − v, pm1 + v.
+        let d0 = _mm256_sub_pd(pm0, vv);
+        let d1 = _mm256_add_pd(pm1, vv);
+        let q0 = _mm256_blendv_pd(d0, negv, _mm256_cmp_pd(d0, d0, _CMP_UNORD_Q));
+        let q1 = _mm256_blendv_pd(d1, negv, _mm256_cmp_pd(d1, d1, _CMP_UNORD_Q));
+        let gt2 = _mm256_cmp_pd(q1, q0, _CMP_GT_OQ);
+        let q = _mm256_blendv_pd(q0, q1, gt2);
+        _mm256_storeu_pd(hi.as_mut_ptr().add(j), q);
+        let t1v = _mm256_srli_epi64::<63>(_mm256_castpd_si256(gt2));
+        let s64h = _mm256_or_si256(_mm256_add_epi64(basev, t1v), hibit);
+        let zmaskh = _mm256_castpd_si256(_mm256_cmp_pd(q, negv, _CMP_EQ_OQ));
+        let s64h = _mm256_andnot_si256(zmaskh, s64h);
+        let packedh = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(s64h, pack32));
+        _mm_storeu_si128(shi.as_mut_ptr().add(j) as *mut __m128i, packedh);
+        j += 4;
+    }
+    // Scalar tail for trellises whose half-size is not a multiple of 4
+    // (e.g. the K=3 test code, half = 2) — same body as `acs_step`.
+    while j < half {
+        let vj = s0[j] * m0 + s1[j] * m1;
+        let pm0 = metric[2 * j];
+        let pm1 = metric[2 * j + 1];
+        let base = (2 * j) as u32;
+        let c0 = pm0 + vj;
+        let c1 = pm1 - vj;
+        let k0 = if c0.is_nan() { NEG } else { c0 };
+        let k1 = if c1.is_nan() { NEG } else { c1 };
+        let take1 = k1 > k0;
+        let m = if take1 { k1 } else { k0 };
+        lo[j] = m;
+        slo[j] = if m == NEG { 0 } else { base + take1 as u32 };
+        let d0 = pm0 - vj;
+        let d1 = pm1 + vj;
+        let q0 = if d0.is_nan() { NEG } else { d0 };
+        let q1 = if d1.is_nan() { NEG } else { d1 };
+        let t1 = q1 > q0;
+        let q = if t1 { q1 } else { q0 };
+        hi[j] = q;
+        shi[j] = if q == NEG {
+            0
+        } else {
+            (base + t1 as u32) | (1 << 31)
+        };
+        j += 1;
+    }
+}
+
+/// Shared traceback over the survivor memory.
+fn traceback(
+    survivor: &[u32],
+    metric: &[f64],
+    ns: usize,
+    steps: usize,
+    terminated: bool,
+) -> Vec<bool> {
+    let mut state = if terminated {
+        0usize
+    } else {
+        // NaN-poisoned path metrics (corrupted LLR inputs) must lose the
+        // comparison, not panic it: map NaN below -inf, then total order.
+        let key = |m: &f64| if m.is_nan() { f64::NEG_INFINITY } else { *m };
+        metric
+            .iter()
+            .enumerate()
+            .max_by(|a, b| key(a.1).total_cmp(&key(b.1)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    let mut bits = vec![false; steps];
+    for t in (0..steps).rev() {
+        let packed = survivor[t * ns + state];
+        bits[t] = packed >> 31 == 1;
+        state = (packed & 0x7FFF_FFFF) as usize;
+    }
+    bits
 }
 
 #[cfg(test)]
@@ -303,6 +665,106 @@ mod tests {
         assert_eq!(dec.len(), bits.len());
         // all but perhaps the last few bits must match
         assert_eq!(&dec[..70], &bits[..70]);
+    }
+
+    /// SplitMix64 step (local copy — this crate deliberately has no
+    /// backfi-dsp dependency).
+    fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn rand_llrs(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| (next_u64(&mut s) as f64 / u64::MAX as f64) * 4.0 - 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn batched_equivalent_to_direct_random_llrs() {
+        let dec = ViterbiDecoder::ieee80211();
+        for seed in 0..8u64 {
+            let n = 2 * (20 + (seed as usize * 37) % 200);
+            let soft = rand_llrs(seed, n);
+            assert_eq!(
+                dec.decode_soft_truncated(&soft),
+                dec.decode_soft_truncated_direct(&soft),
+                "truncated seed {seed}"
+            );
+            if n / 2 >= 6 {
+                assert_eq!(
+                    dec.decode_soft_terminated(&soft),
+                    dec.decode_soft_terminated_direct(&soft),
+                    "terminated seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_equivalent_to_direct_hostile_llrs() {
+        // NaN, ±∞, erasures, and denormals sprinkled into real LLRs must
+        // produce the same decisions on both paths (neither panics).
+        let dec = ViterbiDecoder::ieee80211();
+        for seed in 0..4u64 {
+            let mut soft = rand_llrs(100 + seed, 120);
+            soft[3] = f64::NAN;
+            soft[10] = f64::INFINITY;
+            soft[11] = f64::NEG_INFINITY;
+            soft[20] = 0.0;
+            soft[21] = -0.0;
+            soft[30] = 5e-324;
+            soft[31] = f64::NAN;
+            assert_eq!(
+                dec.decode_soft_truncated(&soft),
+                dec.decode_soft_truncated_direct(&soft),
+                "seed {seed}"
+            );
+            assert_eq!(
+                dec.decode_soft_terminated(&soft),
+                dec.decode_soft_terminated_direct(&soft),
+                "terminated seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_simd_false_forces_direct_and_matches() {
+        let fast = ViterbiDecoder::ieee80211();
+        let slow = ViterbiDecoder::ieee80211().with_simd(false);
+        let soft = rand_llrs(7, 240);
+        assert_eq!(
+            fast.decode_soft_truncated(&soft),
+            slow.decode_soft_truncated(&soft)
+        );
+    }
+
+    #[test]
+    fn k3_code_uses_batched_path_and_matches() {
+        // (7, 5) taps newest+oldest bits in both generators → butterfly form.
+        let dec = ViterbiDecoder::new(3, 0b111, 0b101);
+        assert!(dec.batched.is_some());
+        let soft = rand_llrs(11, 60);
+        assert_eq!(
+            dec.decode_soft_truncated(&soft),
+            dec.decode_soft_truncated_direct(&soft)
+        );
+    }
+
+    #[test]
+    fn non_butterfly_code_falls_back_to_direct() {
+        // g1 = 0b110 doesn't tap the oldest bit → butterfly relations fail,
+        // the decoder must silently use the direct path and stay correct.
+        let dec = ViterbiDecoder::new(3, 0b111, 0b110);
+        assert!(dec.batched.is_none());
+        let bits: Vec<bool> = (0..20).map(|i| (i * 5) % 3 == 1).collect();
+        let mut enc = ConvEncoder::new(3, 0b111, 0b110);
+        let coded = enc.encode_terminated(&bits);
+        assert_eq!(dec.decode_hard_terminated(&coded), bits);
     }
 
     #[test]

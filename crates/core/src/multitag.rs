@@ -90,13 +90,15 @@ pub fn round_robin(
                 let modded: Vec<Complex> =
                     z.iter().zip(gamma.iter()).map(|(v, g)| *v * *g).collect();
                 let back = filter(&medium.h_b, &modded);
-                let buf = y.as_mut().unwrap();
+                let buf = y
+                    .as_mut()
+                    .expect("k > 0 iterations follow the k == 0 initialization");
                 for (p, q) in buf.iter_mut().zip(&back) {
                     *p += *q;
                 }
             }
         }
-        let y = y.unwrap();
+        let y = y.expect("at least one tag slot populated the buffer");
 
         let timeline = Timeline::nominal(exc.detect_end, exc.samples.len(), &base.tag);
         let reader = BackscatterReader::new(base.reader);

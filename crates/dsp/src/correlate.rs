@@ -28,6 +28,9 @@ pub fn xcorr(x: &[Complex], template: &[Complex]) -> Vec<Complex> {
         && x.len().saturating_mul(template.len()) >= crate::fir::FFT_MIN_PRODUCT
     {
         crate::fastconv::xcorr_fft(x, template)
+    } else if x.len().saturating_mul(template.len()) >= crate::fir::SOA_MIN_PRODUCT {
+        // Bit-identical to xcorr_direct, vectorized planar form.
+        crate::soa::xcorr_soa(x, template)
     } else {
         xcorr_direct(x, template)
     }

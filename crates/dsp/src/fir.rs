@@ -38,11 +38,21 @@ pub const FFT_MIN_KERNEL: usize = 48;
 /// boundary.
 pub const FFT_MIN_PRODUCT: usize = 1 << 17;
 
-/// True when an (n-sample × m-tap) product should take the FFT path.
+/// True when an (n-sample × m-tap) product should take the FFT path: both
+/// operands reach [`FFT_MIN_KERNEL`] **and** the product reaches
+/// [`FFT_MIN_PRODUCT`]. Public so the crossover boundary is testable
+/// exactly at ±1 around both thresholds.
 #[inline]
-fn use_fft(n: usize, m: usize) -> bool {
+pub fn use_fft(n: usize, m: usize) -> bool {
     n.min(m) >= FFT_MIN_KERNEL && n.saturating_mul(m) >= FFT_MIN_PRODUCT
 }
+
+/// Below this signal×kernel product the AoS direct loop wins (the planar
+/// SoA form pays two O(n) layout conversions); at or above it the
+/// direct-path work routes through [`crate::soa`]. The two forms are
+/// bit-identical (see `soa`'s module docs), so this threshold is purely a
+/// performance knob — it cannot change any output.
+pub const SOA_MIN_PRODUCT: usize = 4096;
 
 /// Slice a full convolution down to the requested [`ConvMode`].
 fn apply_mode(full: Vec<Complex>, n: usize, m: usize, mode: ConvMode) -> Vec<Complex> {
@@ -82,6 +92,9 @@ pub fn convolve(x: &[Complex], h: &[Complex], mode: ConvMode) -> Vec<Complex> {
             h.len(),
             mode,
         )
+    } else if x.len().saturating_mul(h.len()) >= SOA_MIN_PRODUCT {
+        // Bit-identical to convolve_direct, vectorized planar form.
+        apply_mode(crate::soa::convolve_full_soa(x, h), x.len(), h.len(), mode)
     } else {
         convolve_direct(x, h, mode)
     }
@@ -119,6 +132,9 @@ pub fn filter(h: &[Complex], x: &[Complex]) -> Vec<Complex> {
     assert!(!h.is_empty(), "filter: empty impulse response");
     if use_fft(x.len(), h.len()) {
         crate::fastconv::filter_fft(h, x)
+    } else if x.len().saturating_mul(h.len()) >= SOA_MIN_PRODUCT {
+        // Bit-identical to filter_direct, vectorized planar form.
+        crate::soa::filter_soa(h, x)
     } else {
         filter_direct(h, x)
     }
@@ -340,6 +356,51 @@ mod tests {
         f.push(c(5.0));
         f.reset();
         assert!((f.push(c(1.0)) - c(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_crossover_boundary_exact() {
+        // Documented rule (DESIGN.md §8): FFT path ⇔ min(n,m) ≥ FFT_MIN_KERNEL
+        // ∧ n·m ≥ FFT_MIN_PRODUCT. Probe every boundary at ±1.
+        assert_eq!(2048 * 64, FFT_MIN_PRODUCT); // the boundary pair below
+        assert!(use_fft(2048, 64), "exactly at the product floor");
+        assert!(!use_fft(2047, 64), "one sample below the product floor");
+        assert!(use_fft(64, 2048), "symmetric in the operands");
+        assert!(!use_fft(64, 2047));
+        assert!(
+            !use_fft(4096, FFT_MIN_KERNEL - 1),
+            "kernel one tap short overrides a huge product"
+        );
+        assert!(use_fft(4096, FFT_MIN_KERNEL));
+        assert!(
+            !use_fft(FFT_MIN_KERNEL, FFT_MIN_KERNEL),
+            "kernel floor alone is not enough"
+        );
+    }
+
+    #[test]
+    fn dispatch_selects_documented_path_bitwise_at_boundary() {
+        use crate::noise::cgauss_vec;
+        use crate::rng::SplitMix64;
+        // At crossover±1 the output must be bit-identical to the path the
+        // documented rule names (the SoA route equals convolve_direct
+        // bitwise, so the direct-side comparison stays exact).
+        for (n, m) in [(2048usize, 64usize), (2047, 64), (4096, 47), (4096, 48)] {
+            let mut rng = SplitMix64::new((n * 1000 + m) as u64);
+            let x = cgauss_vec(&mut rng, n, 1.0);
+            let h = cgauss_vec(&mut rng, m, 1.0);
+            let got = convolve(&x, &h, ConvMode::Full);
+            let want = if use_fft(n, m) {
+                crate::fastconv::convolve_full_fft(&x, &h)
+            } else {
+                convolve_direct(&x, &h, ConvMode::Full)
+            };
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "({n},{m}) re[{i}]");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "({n},{m}) im[{i}]");
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! * [`noise`] — deterministic complex Gaussian noise generation,
 //! * [`rng`] — the seedable SplitMix64 generator behind all randomness,
 //! * [`resample`] — integer-factor rate conversion,
-//! * [`spectrum`] — Welch PSD estimation (waveform sanity checks).
+//! * [`spectrum`] — Welch PSD estimation (waveform sanity checks),
+//! * [`simd`] — runtime feature detection and dispatched reductions,
+//! * [`soa`] — structure-of-arrays planar kernels for the receive hot paths.
 //!
 //! Everything is `f64`: the simulation favours numerical fidelity over
 //! throughput, and the wall-clock benches show the pipelines are still fast
@@ -36,6 +38,8 @@ pub mod fir;
 pub mod noise;
 pub mod resample;
 pub mod rng;
+pub mod simd;
+pub mod soa;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

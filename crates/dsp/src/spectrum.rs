@@ -57,9 +57,12 @@ pub fn occupied_bandwidth(psd: &[f64], sample_rate_hz: f64, fraction: f64) -> f6
     if total <= 0.0 {
         return 0.0;
     }
-    // Sort bins by power, accumulate until the fraction is reached.
+    // Sort bins by power (descending), accumulate until the fraction is
+    // reached. NaN bins lose: they are keyed as −∞ so they sort last instead
+    // of panicking the comparator.
+    let desc_key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
     let mut idx: Vec<usize> = (0..psd.len()).collect();
-    idx.sort_by(|&a, &b| psd[b].partial_cmp(&psd[a]).unwrap());
+    idx.sort_by(|&a, &b| desc_key(psd[b]).total_cmp(&desc_key(psd[a])));
     let mut acc = 0.0;
     let mut count = 0usize;
     for &i in &idx {
@@ -105,7 +108,7 @@ mod tests {
         let peak = psd
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(peak, 5);

@@ -108,13 +108,15 @@ pub fn variance(x: &[f64]) -> f64 {
     x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
 }
 
-/// Median of a real slice (NaN for empty). Sorts a copy.
+/// Median of a real slice (NaN for empty). Sorts a copy; NaNs order last
+/// (`total_cmp`), so a NaN-bearing slice yields a defined (if NaN-tainted)
+/// result instead of panicking.
 pub fn median(x: &[f64]) -> f64 {
     if x.is_empty() {
         return f64::NAN;
     }
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -129,7 +131,7 @@ pub fn quantile(x: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(f64::total_cmp);
     let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -153,7 +155,7 @@ impl Ecdf {
     /// Build from observations (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|v| !v.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         Ecdf { sorted: samples }
     }
 

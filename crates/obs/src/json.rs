@@ -204,7 +204,10 @@ impl Parser<'_> {
                     // char boundary from the original str slice.
                     let rest = std::str::from_utf8(&self.b[self.i..])
                         .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("from_utf8 on a non-empty slice yields at least one char");
                     out.push(c);
                     self.i += c.len_utf8();
                 }

@@ -68,6 +68,32 @@ pub fn mrc_symbol(
     if guard >= y.len() {
         return None;
     }
+    // Symbol windows are ≲ 80 samples — far below `SIMD_MIN_REDUCE` — so the
+    // `_auto` reduction always takes the ordered path and this is bit-exact
+    // with [`mrc_symbol_direct`]'s accumulation loop.
+    let (num, den) = backfi_dsp::simd::dot_conj_energy_auto(&y[guard..], &reference[guard..]);
+    if den <= 0.0 {
+        return None;
+    }
+    Some(SymbolEstimate {
+        z: num / den,
+        ref_energy: den,
+        noise_var: noise_power / den,
+    })
+}
+
+/// Reference form of [`mrc_symbol`]: the original explicit accumulation
+/// loop. Pinned against the dispatched path by the `_equiv` test.
+pub fn mrc_symbol_direct(
+    y: &[Complex],
+    reference: &[Complex],
+    guard: usize,
+    noise_power: f64,
+) -> Option<SymbolEstimate> {
+    assert_eq!(y.len(), reference.len(), "window length mismatch");
+    if guard >= y.len() {
+        return None;
+    }
     let mut num = Complex::ZERO;
     let mut den = 0.0;
     for i in guard..y.len() {
@@ -112,6 +138,35 @@ mod tests {
     use backfi_dsp::noise::{cgauss, cgauss_vec};
     use backfi_dsp::rng::SplitMix64;
     use backfi_dsp::stats;
+
+    #[test]
+    fn mrc_equiv_direct() {
+        let mut rng = SplitMix64::new(77);
+        for (n, guard) in [(80usize, 16usize), (40, 4), (33, 0), (8, 7)] {
+            let mut y = cgauss_vec(&mut rng, n, 1.0);
+            let reference = cgauss_vec(&mut rng, n, 1.0);
+            // Hostile lanes: the dispatched path must propagate non-finite
+            // samples exactly like the reference loop.
+            if n >= 8 {
+                y[1].re = f64::NAN;
+                y[3].im = f64::INFINITY;
+                y[5] = Complex::ZERO;
+            }
+            let a = mrc_symbol(&y, &reference, guard, 0.25);
+            let b = mrc_symbol_direct(&y, &reference, guard, 0.25);
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let eq =
+                        |x: f64, y: f64| x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan());
+                    assert!(eq(a.z.re, b.z.re) && eq(a.z.im, b.z.im), "z mismatch n {n}");
+                    assert!(eq(a.ref_energy, b.ref_energy), "ref_energy mismatch n {n}");
+                    assert!(eq(a.noise_var, b.noise_var), "noise_var mismatch n {n}");
+                }
+                _ => panic!("Some/None disagreement at n {n}"),
+            }
+        }
+    }
 
     #[test]
     fn noiseless_recovers_exact_phase() {

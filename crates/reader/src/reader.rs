@@ -195,7 +195,9 @@ impl BackscatterReader {
         // Spatial MRC: combine per-symbol numerators/denominators. Each
         // branch's SymbolEstimate is z = num/den with noise_var = N0/den, so
         // num = z·den and the optimal weights are den/N0.
-        let nsym = branches.iter().map(|b| b.symbols.len()).min().unwrap();
+        // `branches` was checked non-empty above, but prefer a defined
+        // degenerate value over a panic path if that invariant ever shifts.
+        let nsym = branches.iter().map(|b| b.symbols.len()).min().unwrap_or(0);
         let mut combined = Vec::with_capacity(nsym);
         for i in 0..nsym {
             let mut num = Complex::ZERO;
@@ -225,7 +227,7 @@ impl BackscatterReader {
         let mut best = branches
             .into_iter()
             .max_by(|a, b| nan_loses_max(a.snr_proxy(), b.snr_proxy()))
-            .unwrap();
+            .ok_or(ReaderError::ChannelEstimationFailed)?;
         best.symbols = combined;
         Ok(self.finish(best, tag_cfg))
     }

@@ -96,7 +96,11 @@ impl SelfInterferenceCanceller {
     ) -> Option<CancellerReport> {
         assert_eq!(x_clean.len(), y_rx.len(), "length mismatch");
         assert!(silent.end <= y_rx.len(), "silent window out of range");
-        let input_si_db = stats::mean_power_db(&y_rx[silent.clone()]);
+        // Silent windows are ~320 samples — far below `SIMD_MIN_REDUCE` — so
+        // the `_auto` reduction stays on the ordered, bit-exact path while
+        // still letting oversized windows (fault-injection sweeps) use the
+        // wide backend.
+        let input_si_db = stats::db(backfi_dsp::simd::mean_power_auto(&y_rx[silent.clone()]));
 
         // Stage 1: analog subtraction.
         let after_analog = {
@@ -110,7 +114,9 @@ impl SelfInterferenceCanceller {
             // is an extra pass the pipeline itself never needs.
             backfi_obs::probe(
                 "sic.after_analog_db",
-                stats::mean_power_db(&after_analog[silent.clone()]),
+                stats::db(backfi_dsp::simd::mean_power_auto(
+                    &after_analog[silent.clone()],
+                )),
             );
             backfi_obs::probe("sic.input_si_db", input_si_db);
         }
@@ -118,6 +124,10 @@ impl SelfInterferenceCanceller {
         // AGC + ADC.
         let digitized = {
             let _t = backfi_obs::span("sic.adc");
+            // Whole-packet scan (tens of thousands of samples): deliberately
+            // NOT routed through the `_auto` reduction — it would cross the
+            // `SIMD_MIN_REDUCE` floor and reassociate the sum, perturbing the
+            // AGC full-scale bits that downstream figures depend on.
             let rms = stats::rms(&after_analog);
             let full_scale = rms * 10f64.powf(self.cfg.agc_headroom_db / 20.0);
             let adc = backfi_chan_adc(self.cfg.adc_bits, full_scale.max(1e-30));
@@ -141,7 +151,9 @@ impl SelfInterferenceCanceller {
             digitized
         };
 
-        let residual_db = stats::mean_power_db(&samples[trim(&silent, self.cfg.digital_taps)]);
+        let residual_db = stats::db(backfi_dsp::simd::mean_power_auto(
+            &samples[trim(&silent, self.cfg.digital_taps)],
+        ));
         backfi_obs::probe("sic.residual_db", residual_db);
         Some(CancellerReport {
             cancellation_db: input_si_db - residual_db,

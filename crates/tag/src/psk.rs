@@ -130,7 +130,7 @@ mod tests {
                     bits_to_phase(m, &bits)
                 })
                 .collect();
-            phases.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            phases.sort_by(f64::total_cmp);
             let step = 2.0 * std::f64::consts::PI / m.order() as f64;
             for (i, p) in phases.iter().enumerate() {
                 assert!((p - i as f64 * step).abs() < 1e-12, "{m:?} {i}");

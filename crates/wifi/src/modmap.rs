@@ -81,13 +81,86 @@ pub fn constellation(modulation: Modulation) -> Vec<(Complex, Vec<bool>)> {
         .collect()
 }
 
+/// Planar constellation table for the hot demapper: points in the same
+/// `v = 0..2^n` order as [`constellation`], split into re/im slices, with
+/// `labels[v] = v` (bit `i` of the label is the point's `i`-th mapped bit).
+struct ConstTable {
+    n: usize,
+    nbits: usize,
+    re: [f64; 64],
+    im: [f64; 64],
+    labels: [u8; 64],
+}
+
+/// Process-wide cached [`ConstTable`]s, one per modulation. The reference
+/// demapper rebuilds (and heap-allocates) the constellation on every call —
+/// per subcarrier per symbol — which dominated receive-side demod time.
+fn table(modulation: Modulation) -> &'static ConstTable {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<[ConstTable; 4]> = OnceLock::new();
+    let all = TABLES.get_or_init(|| {
+        [
+            Modulation::Bpsk,
+            Modulation::Qpsk,
+            Modulation::Qam16,
+            Modulation::Qam64,
+        ]
+        .map(|m| {
+            let mut t = ConstTable {
+                n: 1 << m.bits_per_subcarrier(),
+                nbits: m.bits_per_subcarrier(),
+                re: [0.0; 64],
+                im: [0.0; 64],
+                labels: [0; 64],
+            };
+            for (v, (p, _)) in constellation(m).into_iter().enumerate() {
+                t.re[v] = p.re;
+                t.im[v] = p.im;
+                t.labels[v] = v as u8;
+            }
+            t
+        })
+    });
+    let idx = match modulation {
+        Modulation::Bpsk => 0,
+        Modulation::Qpsk => 1,
+        Modulation::Qam16 => 2,
+        Modulation::Qam64 => 3,
+    };
+    &all[idx]
+}
+
 /// Max-log LLR soft demapping of one received point.
 ///
 /// `noise_var` scales the confidence; `csi` (channel gain magnitude squared)
 /// further weights the result, so faded subcarriers contribute weak metrics —
 /// this is what makes soft-decision Viterbi shine on frequency-selective
 /// channels. Output convention matches `backfi-coding`: positive ⇒ bit 1.
+///
+/// Runs on cached planar constellation tables through the
+/// [`backfi_dsp::soa`] kernels; bit-identical to [`demap_soft_direct`]
+/// (pinned by the `_equiv` tests — same distances in the same order, and
+/// `f64::min` against the mask's +∞ filler is the identity).
 pub fn demap_soft(
+    modulation: Modulation,
+    point: Complex,
+    csi: f64,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
+    let t = table(modulation);
+    let scale = csi / noise_var.max(1e-12);
+    let (d0, d1) =
+        backfi_dsp::soa::demap_mins(point, &t.re[..t.n], &t.im[..t.n], &t.labels[..t.n], t.nbits);
+    for bit in 0..t.nbits {
+        out.push((d0[bit] - d1[bit]) * scale);
+    }
+}
+
+/// Reference form of [`demap_soft`]: rebuilds the constellation and scans it
+/// with the original branchy min loop. Pinned against the fast path by the
+/// `_equiv` tests.
+pub fn demap_soft_direct(
     modulation: Modulation,
     point: Complex,
     csi: f64,
@@ -112,18 +185,23 @@ pub fn demap_soft(
     }
 }
 
-/// Hard-decision demapping: nearest constellation point's bits.
+/// Hard-decision demapping: nearest constellation point's bits. NaN
+/// distances (a NaN input point) lose the nearest-point comparison instead
+/// of panicking it.
 pub fn demap_hard(modulation: Modulation, point: Complex) -> Vec<bool> {
+    let key = |c: &(Complex, Vec<bool>)| {
+        let d = (point - c.0).norm_sqr();
+        if d.is_nan() {
+            f64::INFINITY
+        } else {
+            d
+        }
+    };
     constellation(modulation)
         .into_iter()
-        .min_by(|a, b| {
-            (point - a.0)
-                .norm_sqr()
-                .partial_cmp(&(point - b.0).norm_sqr())
-                .unwrap()
-        })
+        .min_by(|a, b| key(a).total_cmp(&key(b)))
         .map(|(_, bits)| bits)
-        .unwrap()
+        .expect("constellation is never empty")
 }
 
 #[cfg(test)]
@@ -198,6 +276,48 @@ mod tests {
         demap_soft(Qpsk, pt, 1.0, 0.1, &mut strong);
         demap_soft(Qpsk, pt, 0.01, 0.1, &mut weak);
         assert!(strong[0].abs() > weak[0].abs() * 50.0);
+    }
+
+    #[test]
+    fn demap_soft_equiv_direct() {
+        // Fast cached-table demapper vs the rebuild-every-call reference:
+        // bit-identical LLRs over a grid of points, all modulations, all
+        // csi/noise combinations — including NaN/Inf points (both paths
+        // yield NaN LLRs there; NaN bit patterns are unspecified).
+        let mut points: Vec<Complex> = Vec::new();
+        for i in -4i32..=4 {
+            for q in -4i32..=4 {
+                points.push(Complex::new(i as f64 * 0.37, q as f64 * 0.29));
+            }
+        }
+        points.push(Complex::new(f64::NAN, 0.1));
+        points.push(Complex::new(f64::INFINITY, -1.0));
+        points.push(Complex::new(1e-300, -5e-324));
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            for &p in &points {
+                for (csi, nv) in [(1.0, 0.1), (0.3, 1e-14), (0.0, 0.5)] {
+                    let mut fast = Vec::new();
+                    let mut slow = Vec::new();
+                    demap_soft(m, p, csi, nv, &mut fast);
+                    demap_soft_direct(m, p, csi, nv, &mut slow);
+                    assert_eq!(fast.len(), slow.len());
+                    for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                        assert!(
+                            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                            "{m:?} point {p:?} bit {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demap_hard_nan_point_does_not_panic() {
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            let bits = demap_hard(m, Complex::new(f64::NAN, f64::NAN));
+            assert_eq!(bits.len(), m.bits_per_subcarrier());
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! and the question is how much that costs in post-equalization SNR and
 //! packet success.
 
-use crate::modmap::demap_soft;
+use crate::modmap::{demap_soft, demap_soft_direct};
 use crate::params::{Mcs, Modulation, OFDM};
 use crate::preamble::{ltf_frequency_domain, ltf_symbol};
 use crate::signal_field::Signal;
@@ -110,6 +110,10 @@ pub struct WifiReceiver {
     polarity: Vec<f64>,
     ltf_time: Vec<Complex>,
     ltf_freq: Vec<Complex>,
+    /// FFT bins of the 48 data subcarriers, in transmission order —
+    /// precomputed so the per-symbol hot loop gathers instead of re-deriving
+    /// the subcarrier map.
+    data_bins: Vec<usize>,
     cfg: RxConfig,
 }
 
@@ -127,6 +131,7 @@ impl WifiReceiver {
             polarity: pilot_polarity_sequence(),
             ltf_time: ltf_symbol(),
             ltf_freq: ltf_frequency_domain(),
+            data_bins: data_subcarriers().into_iter().map(bin).collect(),
             cfg,
         }
     }
@@ -313,7 +318,73 @@ impl WifiReceiver {
     }
 
     /// FFT one symbol, equalize, track pilot phase, demap soft bits.
+    ///
+    /// Hot path: stack scratch, a precomputed data-bin gather, planar
+    /// equalization ([`backfi_dsp::soa::equalize_planar`]) and the cached
+    /// table demapper. Bit-identical to [`Self::demap_symbol_direct`]
+    /// (pinned by the `_equiv` test).
     fn demap_symbol(
+        &self,
+        x: &[Complex],
+        at: usize,
+        n: usize,
+        channel: &[Complex],
+        noise_var: f64,
+        modulation: Modulation,
+    ) -> Vec<f64> {
+        let mut bins = [Complex::ZERO; OFDM::FFT];
+        bins.copy_from_slice(&x[at + OFDM::CP..at + OFDM::SYMBOL]);
+        self.plan.forward(&mut bins);
+
+        // Pilot-based common phase error estimate.
+        let pol = self.polarity[n % self.polarity.len()];
+        let mut acc = Complex::ZERO;
+        for (i, &k) in PILOT_SUBCARRIERS.iter().enumerate() {
+            let b = bin(k);
+            let expected = channel[b] * (PILOT_BASE[i] * pol);
+            acc += bins[b] * expected.conj();
+        }
+        let phase = if acc.abs() > 0.0 { acc.arg() } else { 0.0 };
+        let derot = Complex::exp_j(-phase);
+
+        // Gather the data subcarriers and their channel estimates into
+        // planar scratch, equalize all 48 at once, then demap.
+        const ND: usize = 48;
+        debug_assert_eq!(self.data_bins.len(), ND);
+        let mut sr = [0.0f64; ND];
+        let mut si = [0.0f64; ND];
+        let mut hr = [0.0f64; ND];
+        let mut hi = [0.0f64; ND];
+        for (i, &b) in self.data_bins.iter().enumerate() {
+            sr[i] = bins[b].re;
+            si[i] = bins[b].im;
+            hr[i] = channel[b].re;
+            hi[i] = channel[b].im;
+        }
+        let mut eq_re = [0.0f64; ND];
+        let mut eq_im = [0.0f64; ND];
+        let mut csi = [0.0f64; ND];
+        backfi_dsp::soa::equalize_planar(
+            &sr, &si, &hr, &hi, derot, &mut eq_re, &mut eq_im, &mut csi,
+        );
+        let mut llr = Vec::with_capacity(ND * modulation.bits_per_subcarrier());
+        for i in 0..ND {
+            demap_soft(
+                modulation,
+                Complex::new(eq_re[i], eq_im[i]),
+                csi[i],
+                noise_var,
+                &mut llr,
+            );
+        }
+        llr
+    }
+
+    /// Reference form of [`Self::demap_symbol`]: heap scratch, per-subcarrier
+    /// AoS equalization, and the rebuild-every-call demapper — the original
+    /// receive path, kept for the `_equiv` suite.
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn demap_symbol_direct(
         &self,
         x: &[Complex],
         at: usize,
@@ -346,7 +417,7 @@ impl WifiReceiver {
             } else {
                 Complex::ZERO
             };
-            demap_soft(modulation, eq, csi, noise_var, &mut llr);
+            demap_soft_direct(modulation, eq, csi, noise_var, &mut llr);
         }
         llr
     }
@@ -483,6 +554,39 @@ mod tests {
             .map(|h| h.abs())
             .collect();
         assert_eq!(loaded.len(), 52);
+    }
+
+    #[test]
+    fn demap_symbol_equiv_direct() {
+        // The planar gather + equalize + cached-table demap must reproduce
+        // the original AoS symbol pipeline bit-for-bit, for every modulation.
+        let tx = WifiTransmitter::new();
+        let psdu: Vec<u8> = (0..300).map(|i| (i * 31 + 7) as u8).collect();
+        let pkt = tx.transmit(&psdu, Mcs::Mbps54, 0x5D);
+        let mut buf = pkt.samples.clone();
+        let mut rng = SplitMix64::new(3);
+        add_noise(&mut rng, &mut buf, 1e-3);
+        let rx = WifiReceiver::default();
+        let sync = rx.synchronize(&buf).expect("sync");
+        let x = &sync.corrected;
+        for (n, modu) in [
+            (0usize, Modulation::Bpsk),
+            (1, Modulation::Qpsk),
+            (2, Modulation::Qam16),
+            (3, Modulation::Qam64),
+        ] {
+            let at = sync.data_start + n * OFDM::SYMBOL;
+            assert!(at + OFDM::SYMBOL <= x.len());
+            let fast = rx.demap_symbol(x, at, n, &sync.channel, sync.noise_var, modu);
+            let slow = rx.demap_symbol_direct(x, at, n, &sync.channel, sync.noise_var, modu);
+            assert_eq!(fast.len(), slow.len(), "{modu:?}");
+            for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                    "sym {n} {modu:?} llr {i}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]
