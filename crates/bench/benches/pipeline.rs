@@ -106,12 +106,68 @@ fn bench_full_link(rep: &mut BenchReport, short: bool) {
     );
 }
 
+fn bench_sweep_cache_replay(rep: &mut BenchReport, short: bool) {
+    use backfi_core::sweep::{cache::ResultCache, grid_cells, run_grid_indexed_cached, Executor};
+    use backfi_tag::config::TagConfig;
+
+    let dir = std::env::temp_dir().join(format!("backfi-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::open(&dir).expect("open bench cache store");
+    let mut base = LinkConfig::at_distance(1.0);
+    base.excitation.wifi_payload_bytes = 1200;
+    let mut cells = grid_cells(&base, &[TagConfig::default()]);
+    cells.extend(grid_cells(
+        &LinkConfig::at_distance(2.0),
+        &[TagConfig::default()],
+    ));
+    let trials = if short { 2 } else { 4 };
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let exec = Executor::new();
+    let jobs = cells.len() * trials;
+
+    // Cold path: re-chill the store inside the closure so every timed
+    // iteration (including `time_ns`'s warm-up call) recomputes the grid.
+    let cold_ns = rep.measure(
+        "sweep_cache_replay",
+        "cold",
+        jobs,
+        0,
+        jobs,
+        iters(5, short),
+        || {
+            cache.clear_entries().expect("clear bench cache store");
+            black_box(run_grid_indexed_cached(&exec, &cache, &cells, trials, 1000, &bases).len());
+        },
+    );
+    // Warm path: the store is populated (the cold bench's last iteration left
+    // it warm); every iteration serves all cells from disk.
+    let warm_ns = rep.measure(
+        "sweep_cache_replay",
+        "warm",
+        jobs,
+        0,
+        jobs,
+        iters(20, short),
+        || {
+            black_box(run_grid_indexed_cached(&exec, &cache, &cells, trials, 1000, &bases).len());
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    // Replay gate: serving from the content-addressed store must beat
+    // recomputation by a wide margin, or the cache is pure overhead.
+    assert!(
+        warm_ns * 2.0 <= cold_ns,
+        "sweep cache replay too slow: warm {warm_ns:.0} ns vs cold {cold_ns:.0} ns"
+    );
+}
+
 fn main() {
     let short = BenchReport::short_mode();
     let mut rep = BenchReport::new("pipeline", if short { "short" } else { "full" });
     bench_wifi_tx(&mut rep, short);
     bench_wifi_rx(&mut rep, short);
     bench_full_link(&mut rep, short);
+    bench_sweep_cache_replay(&mut rep, short);
     let path = rep.write();
     println!("wrote {}", path.display());
 }

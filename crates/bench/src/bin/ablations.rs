@@ -33,6 +33,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("ablations", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let trials = budget.trials.max(3);
     let payload = budget.wifi_payload_bytes.min(1500);
 

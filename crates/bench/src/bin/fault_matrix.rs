@@ -27,6 +27,7 @@ fn main() {
     );
     let short = std::env::args().any(|a| a == "--short");
     let trials = if short { 4 } else { 20 };
+    backfi_bench::sweep_setup();
     let exec = Executor::new();
     backfi_obs::enable(); // counters feed the panic-attribution checks
 

@@ -27,6 +27,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig07", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let table = timed_figure("fig07", fig7);
     println!(
         "{:>10} | {:^22} | {:^22} | {:^22}",

@@ -18,6 +18,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig08", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     // `--prune` skips candidates that already failed nearer in (frontier
     // monotonicity); seeds stay aligned with the full grid, so the table is
     // identical whenever the monotonicity assumption holds — just cheaper.

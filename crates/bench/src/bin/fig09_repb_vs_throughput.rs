@@ -16,6 +16,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig09", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let ranges = [0.5, 1.0, 2.0, 4.0, 5.0];
     let curves = timed_figure("fig09", || fig9(&ranges, &budget));
 

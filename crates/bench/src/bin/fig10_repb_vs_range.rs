@@ -18,6 +18,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig10", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let ranges = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
     let targets = [1.25e6, 5.0e6];
     let rows = timed_figure("fig10", || fig10(&ranges, &targets, &budget));

@@ -15,6 +15,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig11a", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let quick = std::env::args().any(|a| a == "--quick");
     let (locations, runs) = if quick { (8, 2) } else { (30, 10) };
     let (pts, median) = timed_figure("fig11a", || fig11a(locations, runs, &budget));

@@ -18,6 +18,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig11b", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     // A placement where the highest symbol rates are error-prone.
     let distance = 3.5;
     let rates = [2.5e6, 2.0e6, 1.0e6, 500e3, 100e3];

@@ -16,6 +16,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig12a", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let quick = std::env::args().any(|a| a == "--quick");
     let n_traces = if quick { 8 } else { 20 };
     let (cdf, active) = timed_figure("fig12a", || fig12a(2.0, n_traces, &budget));

@@ -16,6 +16,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig12b", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let distances = [0.25, 0.5, 1.0, 2.0, 3.0, 4.0];
     let pts = timed_figure("fig12b", || fig12b(&distances, &budget));
 

@@ -19,6 +19,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("fig13a", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let rates = [
         Mcs::Mbps6,
         Mcs::Mbps12,

@@ -15,6 +15,7 @@ fn main() {
     let budget = budget_from_args();
     let _obs = backfi_bench::obs_setup("headline", &budget);
     backfi_bench::impair_setup();
+    backfi_bench::sweep_setup();
     let h = timed_figure("headline", || headline(&budget));
 
     println!("{:>28} | {:>14} | {:>14}", "", "BackFi", "prior [27,25]");

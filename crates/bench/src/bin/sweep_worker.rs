@@ -1,0 +1,37 @@
+//! Sweep-service worker process.
+//!
+//! Binds a TCP listener and serves sweep shards to any coordinator (a
+//! figure binary run with `--workers`), computing each shard with the
+//! cache-aware local grid runner — so a worker given `--cache` shares and
+//! grows the same persistent result store the figure binaries use.
+//!
+//! ```text
+//! sweep_worker --listen 127.0.0.1:7070 [--cache DIR]
+//! ```
+//!
+//! `--listen` defaults to `127.0.0.1:0` (an OS-assigned port, printed on
+//! stderr) so loopback smoke tests need no port bookkeeping. The process
+//! serves until killed. Results are bit-identical to in-process execution
+//! by construction: every trial's seed is a pure function of the grid
+//! coordinates the coordinator ships with each cell.
+
+fn main() {
+    backfi_bench::sweep_setup();
+    let mut listen = String::from("127.0.0.1:0");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--listen" {
+            match args.next() {
+                Some(addr) if !addr.is_empty() && !addr.starts_with("--") => listen = addr,
+                _ => {
+                    eprintln!("error: --listen requires host:port");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if let Err(e) = backfi_core::sweep::service::worker_main(&listen) {
+        eprintln!("error: sweep_worker: {e}");
+        std::process::exit(1);
+    }
+}

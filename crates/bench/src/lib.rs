@@ -17,10 +17,10 @@ use backfi_core::figures::FigureBudget;
 
 pub mod timing;
 
-/// Parse the common CLI convention: `--quick` selects the smoke budget,
-/// anything else (or nothing) the full reproduction budget.
+/// Parse the common CLI convention: `--quick` (alias `--short`) selects the
+/// smoke budget, anything else (or nothing) the full reproduction budget.
 pub fn budget_from_args() -> FigureBudget {
-    if std::env::args().any(|a| a == "--quick") {
+    if std::env::args().any(|a| a == "--quick" || a == "--short") {
         FigureBudget::quick()
     } else {
         FigureBudget::paper()
@@ -46,7 +46,7 @@ pub fn obs_setup(figure: &str, budget: &FigureBudget) -> Option<backfi_obs::RunS
     if !backfi_obs::enabled() {
         return None;
     }
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--short");
     backfi_obs::set_meta("figure", figure);
     backfi_obs::set_meta("mode", if quick { "quick" } else { "paper" });
     backfi_obs::set_meta("trials", &budget.trials.to_string());
@@ -86,6 +86,60 @@ pub fn impair_setup() {
     let active = backfi_chan::impair::global();
     if !active.is_off() {
         eprintln!("# fault injection active: {active:?}");
+    }
+}
+
+/// Arm the sweep service layer (result cache + worker sharding) for a
+/// figure binary.
+///
+/// `--cache <dir>` (or `BACKFI_CACHE=<dir>`) opens/creates a persistent
+/// content-addressed result cache there, so a rerun only computes grid
+/// cells it has not seen — stdout is byte-identical to a cold run.
+/// `--workers host:p1,host:p2` (or `BACKFI_WORKERS=...`) shards grid cells
+/// across `sweep_worker` processes over TCP, bit-identical to in-process
+/// execution for any worker count. With neither, the sweep layer is
+/// untouched and default runs stay byte-identical to a build without it.
+/// An unopenable cache directory or empty worker list is a usage error
+/// (exit 2), matching [`impair_setup`]. Active layers are echoed to stderr.
+pub fn sweep_setup() {
+    let mut cache_dir: Option<String> = std::env::var("BACKFI_CACHE").ok();
+    let mut workers: Option<String> = std::env::var("BACKFI_WORKERS").ok();
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--cache" {
+            match args.next() {
+                Some(d) if !d.is_empty() && !d.starts_with("--") => cache_dir = Some(d),
+                _ => {
+                    eprintln!("error: --cache requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if a == "--workers" {
+            match args.next() {
+                Some(w) if !w.is_empty() && !w.starts_with("--") => workers = Some(w),
+                _ => {
+                    eprintln!("error: --workers requires host:port[,host:port...]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if let Some(dir) = cache_dir {
+        let path = std::path::Path::new(&dir);
+        if let Err(e) = backfi_core::sweep::cache::set_global(Some(path)) {
+            eprintln!("error: --cache {dir:?}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("# sweep result cache: {dir}");
+    }
+    if let Some(spec) = workers {
+        let pool = backfi_core::sweep::service::pool_from_spec(&spec);
+        if pool.is_empty() {
+            eprintln!("error: --workers {spec:?}: no addresses");
+            std::process::exit(2);
+        }
+        eprintln!("# sweep worker pool: {} worker(s) ({spec})", pool.len());
+        backfi_core::sweep::service::set_global(Some(pool));
     }
 }
 

@@ -11,6 +11,10 @@
 //! results are bit-identical for any worker count (on a single-core host the
 //! jobs simply run sequentially).
 
+pub mod cache;
+pub mod codec;
+pub mod service;
+
 use crate::link::{LinkConfig, LinkReport, LinkSimulator};
 use backfi_dsp::rng::SplitMix64;
 use backfi_reader::rate_adapt::TrialOutcome;
@@ -342,7 +346,92 @@ pub fn run_grid_indexed(
 }
 
 /// [`run_grid_indexed`] on a caller-supplied executor.
+///
+/// This is the dispatch point for the sweep service: if a worker pool is
+/// installed ([`service::set_global`]) the grid is sharded over TCP, and if
+/// a result cache is installed ([`cache::set_global`]) cells it already
+/// holds are not recomputed. Both layers are opt-in, and both are
+/// bit-identical to the plain in-process path, so default runs are
+/// untouched.
 pub fn run_grid_indexed_on(
+    exec: &Executor,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Vec<TrialStats> {
+    assert_eq!(cells.len(), bases.len(), "one job-index base per cell");
+    if let Some(pool) = service::global() {
+        match service::run_sharded(&pool, cells, trials, seed0, bases) {
+            Ok(stats) => return stats,
+            Err(e) => {
+                // Results are bit-identical either way, so a dead or stale
+                // worker degrades to local compute instead of failing the run.
+                backfi_obs::counter_add("sweep.service.fallback", 1);
+                eprintln!("[backfi sweep] worker pool unavailable ({e}); computing locally");
+            }
+        }
+    }
+    run_grid_indexed_local(exec, cells, trials, seed0, bases)
+}
+
+/// Cache-aware but service-free grid runner: what a sharded worker answers
+/// jobs with (a worker must never recursively re-shard), and what the
+/// coordinator falls back to.
+pub(crate) fn run_grid_indexed_local(
+    exec: &Executor,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Vec<TrialStats> {
+    match cache::global() {
+        Some(c) => run_grid_indexed_cached(exec, &c, cells, trials, seed0, bases),
+        None => run_grid_indexed_plain(exec, cells, trials, seed0, bases),
+    }
+}
+
+/// [`run_grid_indexed_on`] against an explicit result cache: cells whose
+/// key is already stored are returned from disk (bit-identical by the codec
+/// round-trip guarantee); only the misses are computed — with the exact
+/// job-index bases they had in the full grid, so their seeds are unchanged
+/// — and then stored for the next run. Cells whose stats recorded a caught
+/// panic are *not* stored: a transient failure must not be frozen into the
+/// cache.
+pub fn run_grid_indexed_cached(
+    exec: &Executor,
+    cache: &cache::ResultCache,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Vec<TrialStats> {
+    assert_eq!(cells.len(), bases.len(), "one job-index base per cell");
+    let keys: Vec<cache::CacheKey> = cells
+        .iter()
+        .zip(bases)
+        .map(|(cfg, &b)| cache::cell_key(cfg, seed0, b, trials.max(1)))
+        .collect();
+    let mut out: Vec<Option<TrialStats>> = keys.iter().map(|&k| cache.get(k)).collect();
+    let miss: Vec<usize> = (0..cells.len()).filter(|&i| out[i].is_none()).collect();
+    if !miss.is_empty() {
+        let miss_cells: Vec<LinkConfig> = miss.iter().map(|&i| cells[i].clone()).collect();
+        let miss_bases: Vec<u64> = miss.iter().map(|&i| bases[i]).collect();
+        let computed = run_grid_indexed_plain(exec, &miss_cells, trials, seed0, &miss_bases);
+        for (&i, s) in miss.iter().zip(computed) {
+            if s.panics == 0 {
+                cache.put(keys[i], &s);
+            }
+            out[i] = Some(s);
+        }
+    }
+    out.into_iter()
+        .map(|s| s.expect("every cell is either a hit or was just computed"))
+        .collect()
+}
+
+/// The original in-process path: every (cell × trial) job computed here.
+fn run_grid_indexed_plain(
     exec: &Executor,
     cells: &[LinkConfig],
     trials: usize,

@@ -1,0 +1,389 @@
+//! Coordinator/worker sweep sharding over TCP — `std::net` only.
+//!
+//! A coordinator splits a grid's cells into contiguous shards, ships each
+//! shard to a worker process over a checksummed length-prefixed frame
+//! protocol (DESIGN.md §12), and merges the returned [`TrialStats`] back in
+//! job order. Because every trial's seed is a pure function of
+//! `(seed0, bases[cell] + t)` and each worker receives the exact bases its
+//! cells had in the full grid, the merged result is **bit-identical to the
+//! in-process executor for any shard count** — the same guarantee the
+//! executor gives for any thread count.
+//!
+//! Workers answer jobs with the *cache-aware but service-free* local grid
+//! runner, so a worker with a warm [`super::cache`] store skips recompute
+//! but can never recursively re-shard.
+//!
+//! Failure policy: any connection, handshake or protocol error on any shard
+//! aborts the remote attempt and the caller falls back to local compute
+//! (results are bit-identical either way, so fallback is invisible in the
+//! output).
+
+use crate::link::LinkConfig;
+use crate::sweep::cache::code_salt;
+use crate::sweep::codec::{self, Cursor, Writer, TRIAL_STATS_LEN};
+use crate::sweep::{run_grid_indexed_local, Executor, TrialStats};
+use std::io::{self, Read, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Wire protocol version; carried in the HELLO frame and bumped with any
+/// frame-layout change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Frame magic: `b"BFSWEEP1"` little-endian.
+pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"BFSWEEP1");
+
+/// Message kind tags (first body byte).
+const KIND_HELLO: u8 = 1;
+const KIND_JOB: u8 = 2;
+const KIND_RESULT: u8 = 3;
+
+/// Why a sharded run could not complete (the caller falls back to local).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// The peer spoke, but not our dialect: bad magic/checksum/kind, or a
+    /// version/salt mismatch in the handshake.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "io: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------- frames ---
+
+/// Write one frame: `magic u64 | body_len u64 | body | fnv1a64(header+body)`.
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    let mut w = Writer::with_capacity(24 + body.len());
+    w.u64(FRAME_MAGIC);
+    w.u64(body.len() as u64);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(body);
+    let sum = codec::fnv1a64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    stream.write_all(&bytes)
+}
+
+/// Largest body a peer may send: a full-budget grid job is well under this.
+const MAX_FRAME: u64 = 256 * 1024 * 1024;
+
+/// Read one frame's body. `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServiceError> {
+    let mut head = [0u8; 16];
+    match stream.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let magic = u64::from_le_bytes(head[..8].try_into().unwrap());
+    let len = u64::from_le_bytes(head[8..].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(ServiceError::Protocol(format!(
+            "bad frame magic {magic:#x}"
+        )));
+    }
+    if len > MAX_FRAME {
+        return Err(ServiceError::Protocol(format!(
+            "oversized frame ({len} bytes)"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    let mut sum = [0u8; 8];
+    stream.read_exact(&mut sum)?;
+    let mut whole = head.to_vec();
+    whole.extend_from_slice(&body);
+    if codec::fnv1a64(&whole) != u64::from_le_bytes(sum) {
+        return Err(ServiceError::Protocol("frame checksum mismatch".into()));
+    }
+    Ok(Some(body))
+}
+
+// -------------------------------------------------------------- messages ---
+
+fn hello_body(salt: u64) -> Vec<u8> {
+    let mut w = Writer::with_capacity(16);
+    w.u8(KIND_HELLO);
+    w.u32(PROTO_VERSION);
+    w.u64(salt);
+    w.into_bytes()
+}
+
+fn job_body(cells: &[LinkConfig], trials: usize, seed0: u64, bases: &[u64]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + cells.len() * 352);
+    w.u8(KIND_JOB);
+    w.u64(seed0);
+    w.u64(trials as u64);
+    w.u64(cells.len() as u64);
+    for (cfg, &base) in cells.iter().zip(bases) {
+        w.u64(base);
+        let bytes = codec::link_config_bytes(cfg);
+        w.u64(bytes.len() as u64);
+        w.raw(&bytes);
+    }
+    w.into_bytes()
+}
+
+fn result_body(stats: &[TrialStats]) -> Vec<u8> {
+    let mut w = Writer::with_capacity(16 + stats.len() * TRIAL_STATS_LEN);
+    w.u8(KIND_RESULT);
+    w.u64(stats.len() as u64);
+    for s in stats {
+        codec::encode_trial_stats(&mut w, s);
+    }
+    w.into_bytes()
+}
+
+fn parse_result(body: &[u8], expect: usize) -> Result<Vec<TrialStats>, ServiceError> {
+    let mut c = Cursor::new(body);
+    let kind = c.u8().map_err(|e| ServiceError::Protocol(e.to_string()))?;
+    if kind != KIND_RESULT {
+        return Err(ServiceError::Protocol(format!(
+            "expected RESULT, got kind {kind}"
+        )));
+    }
+    let n = c.u64().map_err(|e| ServiceError::Protocol(e.to_string()))? as usize;
+    if n != expect {
+        return Err(ServiceError::Protocol(format!(
+            "shard returned {n} cells, expected {expect}"
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(
+            codec::decode_trial_stats(&mut c).map_err(|e| ServiceError::Protocol(e.to_string()))?,
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- worker ---
+
+/// Serve sweep jobs on `listener` until `max_conns` connections have been
+/// handled (`None` = forever). Each connection may carry any number of
+/// sequential jobs; jobs run on the cache-aware local grid runner.
+pub fn serve(listener: &TcpListener, max_conns: Option<usize>) -> io::Result<()> {
+    serve_with_salt(listener, code_salt(), max_conns)
+}
+
+/// [`serve`] announcing an explicit code salt in the handshake. Production
+/// workers use [`code_salt`]; tests use this to exercise coordinator-side
+/// stale-worker rejection.
+pub fn serve_with_salt(
+    listener: &TcpListener,
+    salt: u64,
+    max_conns: Option<usize>,
+) -> io::Result<()> {
+    for (served, conn) in listener.incoming().enumerate() {
+        let mut stream = conn?;
+        // A wedged or hostile peer must not hang the worker forever.
+        let _ = stream.set_nodelay(true);
+        if let Err(e) = handle_conn(&mut stream, salt) {
+            eprintln!("[backfi sweep-worker] connection ended: {e}");
+        }
+        if max_conns.is_some_and(|m| served + 1 >= m) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
+    write_frame(stream, &hello_body(salt))?;
+    while let Some(body) = read_frame(stream)? {
+        let mut c = Cursor::new(&body);
+        let kind = c.u8().map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        if kind != KIND_JOB {
+            return Err(ServiceError::Protocol(format!(
+                "expected JOB, got kind {kind}"
+            )));
+        }
+        let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
+        let seed0 = c.u64().map_err(p)?;
+        let trials = c.u64().map_err(p)? as usize;
+        let n = c.u64().map_err(p)? as usize;
+        let mut cells = Vec::with_capacity(n);
+        let mut bases = Vec::with_capacity(n);
+        for _ in 0..n {
+            bases.push(c.u64().map_err(p)?);
+            let len = c.u64().map_err(p)? as usize;
+            let blob = c.slice(len).map_err(p)?;
+            let mut cc = Cursor::new(blob);
+            cells.push(codec::decode_link_config(&mut cc).map_err(p)?);
+        }
+        let stats = run_grid_indexed_local(&Executor::new(), &cells, trials, seed0, &bases);
+        write_frame(stream, &result_body(&stats))?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------- coordinator ---
+
+/// Addresses of the worker fleet a coordinator shards across.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    addrs: Vec<String>,
+}
+
+impl WorkerPool {
+    /// A pool from worker `host:port` addresses. Empty pools are valid and
+    /// simply mean "run locally".
+    pub fn new(addrs: Vec<String>) -> Self {
+        WorkerPool { addrs }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+}
+
+/// One shard conversation: connect, validate HELLO, send the cell slice,
+/// collect its stats.
+fn run_shard(
+    addr: &str,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Result<Vec<TrialStats>, ServiceError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let hello = read_frame(&mut stream)?
+        .ok_or_else(|| ServiceError::Protocol("worker closed before HELLO".into()))?;
+    let mut c = Cursor::new(&hello);
+    let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
+    if c.u8().map_err(p)? != KIND_HELLO {
+        return Err(ServiceError::Protocol("expected HELLO".into()));
+    }
+    let proto = c.u32().map_err(p)?;
+    if proto != PROTO_VERSION {
+        return Err(ServiceError::Protocol(format!(
+            "worker speaks protocol v{proto}, coordinator v{PROTO_VERSION}"
+        )));
+    }
+    let salt = c.u64().map_err(p)?;
+    if salt != code_salt() {
+        return Err(ServiceError::Protocol(format!(
+            "worker code salt {salt:016x} != coordinator {:016x} (stale build?)",
+            code_salt()
+        )));
+    }
+    write_frame(&mut stream, &job_body(cells, trials, seed0, bases))?;
+    let res = read_frame(&mut stream)?
+        .ok_or_else(|| ServiceError::Protocol("worker closed before RESULT".into()))?;
+    parse_result(&res, cells.len())
+}
+
+/// Shard `cells` contiguously across the pool's workers and merge the
+/// results in cell order. Errors on any shard abort the whole attempt —
+/// the caller falls back to local compute, which is bit-identical.
+pub fn run_sharded(
+    pool: &WorkerPool,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Result<Vec<TrialStats>, ServiceError> {
+    assert_eq!(cells.len(), bases.len(), "one job-index base per cell");
+    if pool.is_empty() {
+        return Err(ServiceError::Protocol("empty worker pool".into()));
+    }
+    if cells.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Contiguous shards, at most one per worker, sized ceil(n / workers).
+    let n = cells.len();
+    let shard = n.div_ceil(pool.len());
+    let ranges: Vec<(usize, usize)> = (0..n)
+        .step_by(shard)
+        .map(|lo| (lo, (lo + shard).min(n)))
+        .collect();
+    let results: Vec<Result<Vec<TrialStats>, ServiceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .zip(&pool.addrs)
+            .map(|(&(lo, hi), addr)| {
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let out = run_shard(addr, &cells[lo..hi], trials, seed0, &bases[lo..hi]);
+                    backfi_obs::record_span_ns(
+                        "sweep.service.shard",
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("shard thread propagates errors, never panics")
+            })
+            .collect()
+    });
+    let mut merged = Vec::with_capacity(n);
+    for r in results {
+        merged.extend(r?);
+    }
+    Ok(merged)
+}
+
+// ---------------------------------------------------------------- global ---
+
+static GLOBAL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
+
+/// Install (or with `None`, remove) the process-wide worker pool used by
+/// the `run_grid*` family. Figure binaries call this from
+/// `--workers a:p,b:p` / `BACKFI_WORKERS`; nothing is installed by default.
+pub fn set_global(pool: Option<WorkerPool>) {
+    *GLOBAL.lock().expect("service global lock poisoned") = pool.map(Arc::new);
+}
+
+/// The installed process-wide worker pool, if any.
+pub fn global() -> Option<Arc<WorkerPool>> {
+    GLOBAL.lock().expect("service global lock poisoned").clone()
+}
+
+/// Convenience for the worker binary: bind `addr`, print the bound address
+/// on stderr (port 0 resolves here) and serve forever.
+pub fn worker_main(addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!(
+        "[backfi sweep-worker] listening on {} (salt {:016x}, proto v{PROTO_VERSION})",
+        listener.local_addr()?,
+        code_salt()
+    );
+    serve(&listener, None)
+}
+
+/// Parse a `--cache`-style worker list `"host:a,host:b"` into a pool.
+pub fn pool_from_spec(spec: &str) -> WorkerPool {
+    WorkerPool::new(
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+    )
+}

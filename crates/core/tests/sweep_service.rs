@@ -1,0 +1,168 @@
+//! Loopback integration of the TCP sweep service: a coordinator sharding
+//! over 1, 2 and 4 workers must reproduce the in-process `run_grid` result
+//! bit-for-bit — including with fault injection active — and must reject
+//! workers built from a different code version.
+
+use backfi_chan::impair::{ImpairmentMode, Impairments};
+use backfi_core::sweep::service::{self, ServiceError, WorkerPool};
+use backfi_core::sweep::{grid_cells, run_grid_indexed_on, run_grid_on, Executor, TrialStats};
+use backfi_core::LinkConfig;
+use backfi_tag::config::TagConfig;
+use std::net::TcpListener;
+use std::sync::Mutex;
+
+/// The worker-pool global and obs counters are process-wide; serialize the
+/// tests that touch them.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Spawn a detached loopback worker serving `conns` connections; returns
+/// its address. Detached so an unused worker never blocks test teardown.
+fn spawn_worker(conns: usize) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = service::serve(&listener, Some(conns));
+    });
+    addr
+}
+
+fn spawn_stale_worker(salt: u64) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = service::serve_with_salt(&listener, salt, Some(1));
+    });
+    addr
+}
+
+/// 4-cell grid: two distances × two tag configurations.
+fn grid(impair: Option<Impairments>) -> Vec<LinkConfig> {
+    let slow = TagConfig::default();
+    let fast = TagConfig {
+        symbol_rate_hz: 2.5e6,
+        ..TagConfig::default()
+    };
+    let mut cells = Vec::new();
+    for &d in &[1.0, 2.5] {
+        let mut base = LinkConfig::at_distance(d);
+        base.excitation.wifi_payload_bytes = 1200;
+        if let Some(imp) = impair {
+            base.impair = imp;
+        }
+        cells.extend(grid_cells(&base, &[slow, fast]));
+    }
+    cells
+}
+
+fn assert_stats_bits_eq(a: &[TrialStats], b: &[TrialStats], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.success_rate.to_bits(),
+            y.success_rate.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(
+            x.mean_snr_db.to_bits(),
+            y.mean_snr_db.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(x.mean_ber.to_bits(), y.mean_ber.to_bits(), "{what}[{i}]");
+        assert_eq!(
+            x.mean_pre_fec_ber.to_bits(),
+            y.mean_pre_fec_ber.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(
+            x.mean_goodput_bps.to_bits(),
+            y.mean_goodput_bps.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(x.panics, y.panics, "{what}[{i}]");
+    }
+}
+
+#[test]
+fn sharded_run_is_bit_identical_for_1_2_and_4_workers() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new((0..workers).map(|_| spawn_worker(1)).collect());
+        let sharded = service::run_sharded(&pool, &cells, trials, 1000, &bases)
+            .unwrap_or_else(|e| panic!("{workers}-worker run failed: {e}"));
+        assert_stats_bits_eq(&reference, &sharded, &format!("{workers} workers"));
+    }
+}
+
+#[test]
+fn sharded_run_is_bit_identical_under_impairment() {
+    let _g = serialize();
+    // One `--impair` mode active in every cell: injection draws derive from
+    // the job seed the coordinator ships, not from which host computes it.
+    let cells = grid(Some(Impairments::single(ImpairmentMode::Cfo, 0.5)));
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 7700);
+    let pool = WorkerPool::new((0..2).map(|_| spawn_worker(1)).collect());
+    let sharded = service::run_sharded(&pool, &cells, trials, 7700, &bases).unwrap();
+    assert_stats_bits_eq(&reference, &sharded, "2 workers, cfo impaired");
+}
+
+#[test]
+fn stale_worker_salt_is_rejected() {
+    let _g = serialize();
+    let cells = grid(None);
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * 2).collect();
+    let pool = WorkerPool::new(vec![spawn_stale_worker(0xdeadbeef)]);
+    match service::run_sharded(&pool, &cells, 2, 1000, &bases) {
+        Err(ServiceError::Protocol(m)) => {
+            assert!(m.contains("salt"), "rejection must name the salt: {m}")
+        }
+        other => panic!("stale worker must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn dispatch_falls_back_to_local_when_workers_are_dead() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+
+    // Bind-then-drop guarantees a dead port.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    backfi_obs::enable();
+    let before = backfi_obs::counter_value("sweep.service.fallback");
+    service::set_global(Some(WorkerPool::new(vec![dead])));
+    let via_dispatch = run_grid_indexed_on(&Executor::new(), &cells, trials, 1000, &bases);
+    service::set_global(None);
+    let after = backfi_obs::counter_value("sweep.service.fallback");
+    assert!(after > before, "fallback must be counted");
+    assert_stats_bits_eq(&reference, &via_dispatch, "dead-pool fallback");
+}
+
+#[test]
+fn global_dispatch_through_live_workers_matches_local() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    service::set_global(Some(WorkerPool::new(
+        (0..2).map(|_| spawn_worker(1)).collect(),
+    )));
+    let sharded = run_grid_indexed_on(&Executor::new(), &cells, trials, 1000, &bases);
+    service::set_global(None);
+    assert_stats_bits_eq(&reference, &sharded, "global dispatch, 2 workers");
+}

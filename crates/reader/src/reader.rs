@@ -471,14 +471,21 @@ impl BackscatterReader {
             return None;
         }
         let tail = (silent.end - q)..silent.end;
-        let head_db = stats::mean_power_db(&rep.samples[head_start..head_start + q]);
-        let tail_db = stats::mean_power_db(&rep.samples[tail.clone()]);
+        // SIMD-routed power scans: `mean_power_auto` folds in order below
+        // `SIMD_MIN_REDUCE`, so quarter-window scans (≲ a few hundred
+        // samples) are bitwise identical to `stats::mean_power`.
+        let head_db = stats::db(backfi_dsp::simd::mean_power_auto(
+            &rep.samples[head_start..head_start + q],
+        ));
+        let tail_db = stats::db(backfi_dsp::simd::mean_power_auto(
+            &rep.samples[tail.clone()],
+        ));
         if !tail_db.is_finite() || !head_db.is_finite() || tail_db <= head_db + DIVERGENCE_DB {
             return None;
         }
         backfi_obs::counter_add("reader.sic_retrain", 1);
         let rep2 = canceller.process(x_clean, y_rx, fallback_window(silent))?;
-        let tail2_db = stats::mean_power_db(&rep2.samples[tail]);
+        let tail2_db = stats::db(backfi_dsp::simd::mean_power_auto(&rep2.samples[tail]));
         (tail2_db < tail_db).then_some(rep2)
     }
 
