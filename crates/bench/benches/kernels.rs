@@ -188,6 +188,36 @@ fn bench_pipeline_kernels(rep: &mut BenchReport, short: bool) {
     );
 }
 
+/// The disabled observability fast path. With the recorder and the tracer
+/// both off, a span guard is one relaxed atomic load and a branch at
+/// construction and the same again at drop — the acceptance bound is
+/// < 5 ns per call, i.e. instrumentation points are free to leave in the
+/// per-trial hot path unconditionally.
+fn bench_obs_overhead(rep: &mut BenchReport, short: bool) {
+    backfi_obs::disable();
+    backfi_obs::trace::disable();
+    const CALLS: usize = 1024;
+    let ns = rep.measure(
+        "obs_span",
+        "disabled",
+        CALLS,
+        0,
+        CALLS,
+        iters(2000, short),
+        || {
+            for _ in 0..CALLS {
+                drop(black_box(backfi_obs::span(black_box("bench.obs_overhead"))));
+            }
+        },
+    );
+    let per_call = ns / CALLS as f64;
+    println!("disabled span path: {per_call:.2} ns/call");
+    assert!(
+        per_call < 5.0,
+        "disabled span guard must stay under 5 ns/call, got {per_call:.2}"
+    );
+}
+
 /// Assert the acceptance speedups from the recorded trajectory and print the
 /// ratio table: FFT convolution ≥ 3× direct at (8192, 256), Toeplitz
 /// estimator ≥ 3× direct at (4096, 64). Skipped in `--short` mode where the
@@ -225,6 +255,7 @@ fn main() {
     bench_xcorr_grid(&mut rep, short);
     bench_estimator_grid(&mut rep, short);
     bench_pipeline_kernels(&mut rep, short);
+    bench_obs_overhead(&mut rep, short);
 
     // Legacy single-line smoke point kept for continuity with older logs.
     let mut rng = SplitMix64::new(4);

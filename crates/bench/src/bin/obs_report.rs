@@ -1,0 +1,385 @@
+//! `obs_report` — the automated perf-regression gate.
+//!
+//! Diffs two telemetry documents of the same kind — either two
+//! `OBS_<run>.json` run manifests or two `BENCH_<name>.json` perf
+//! trajectories (auto-detected from the document shape) — and reports
+//! per-span p50/p99/total deltas, counter deltas and per-record ns/iter
+//! deltas against configurable thresholds. Prints a human table on stdout,
+//! optionally writes a machine-readable verdict (`--json <path>`), and with
+//! `--check` exits nonzero when any regression crosses its threshold — the
+//! CI gate against the committed baseline manifest.
+//!
+//! ```text
+//! obs_report <baseline.json> <current.json> [options]
+//!   --check                  exit 1 if any regression is found
+//!   --span-threshold <f>     span p50/p99/total regression factor (default 0.20)
+//!   --bench-threshold <f>    bench ns/iter regression factor     (default 0.20)
+//!   --counter-threshold <f>  allowed relative counter drift      (default 0, exact)
+//!   --ignore-spans           compare counters only (machine-speed-independent)
+//!   --ignore <prefix>        skip spans/counters/records with this name prefix
+//!   --json <path>            also write the verdict as JSON
+//! ```
+//!
+//! Exit status: 0 clean (or regressions found without `--check`), 1
+//! regressions found under `--check`, 2 usage or input error.
+
+use backfi_obs::json::{self, Json};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parsed CLI options.
+struct Opts {
+    baseline: String,
+    current: String,
+    check: bool,
+    span_threshold: f64,
+    bench_threshold: f64,
+    counter_threshold: f64,
+    ignore_spans: bool,
+    ignore: Vec<String>,
+    json_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_report <baseline.json> <current.json> [--check] \
+         [--span-threshold F] [--bench-threshold F] [--counter-threshold F] \
+         [--ignore-spans] [--ignore PREFIX]... [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut positional = Vec::new();
+    let mut opts = Opts {
+        baseline: String::new(),
+        current: String::new(),
+        check: false,
+        span_threshold: 0.20,
+        bench_threshold: 0.20,
+        counter_threshold: 0.0,
+        ignore_spans: false,
+        ignore: Vec::new(),
+        json_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_f = |args: &mut dyn Iterator<Item = String>, flag: &str| -> f64 {
+        match args.next().and_then(|v| v.parse::<f64>().ok()) {
+            Some(v) if v >= 0.0 => v,
+            _ => {
+                eprintln!("error: {flag} requires a non-negative number");
+                usage();
+            }
+        }
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => opts.check = true,
+            "--ignore-spans" => opts.ignore_spans = true,
+            "--span-threshold" => opts.span_threshold = next_f(&mut args, "--span-threshold"),
+            "--bench-threshold" => opts.bench_threshold = next_f(&mut args, "--bench-threshold"),
+            "--counter-threshold" => {
+                opts.counter_threshold = next_f(&mut args, "--counter-threshold")
+            }
+            "--ignore" => match args.next() {
+                Some(p) if !p.is_empty() => opts.ignore.push(p),
+                _ => usage(),
+            },
+            "--json" => match args.next() {
+                Some(p) if !p.is_empty() => opts.json_out = Some(p),
+                _ => usage(),
+            },
+            _ if a.starts_with("--") => usage(),
+            _ => positional.push(a),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    opts.baseline = positional.remove(0);
+    opts.current = positional.remove(0);
+    opts
+}
+
+/// One comparison outcome row.
+struct Finding {
+    kind: &'static str,
+    name: String,
+    baseline: f64,
+    current: f64,
+    /// Relative change, `current/baseline − 1` (`inf` when baseline is 0).
+    delta: f64,
+    regression: bool,
+    note: &'static str,
+}
+
+fn rel(baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        if current == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        current / baseline - 1.0
+    }
+}
+
+fn ignored(name: &str, opts: &Opts) -> bool {
+    opts.ignore.iter().any(|p| name.starts_with(p.as_str()))
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn f(v: &Json, key: &str) -> f64 {
+    v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn name_of(v: &Json) -> String {
+    v.get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+/// Index an array-of-objects section by its `"name"` member.
+fn by_name<'a>(doc: &'a Json, section: &str) -> BTreeMap<String, &'a Json> {
+    doc.get(section)
+        .and_then(Json::as_arr)
+        .map(|arr| arr.iter().map(|v| (name_of(v), v)).collect())
+        .unwrap_or_default()
+}
+
+/// Compare two OBS manifests: span p50/p99/total regressions plus counter
+/// drift. Gauges and probes are machine- or wall-clock-shaped; they are not
+/// gated here.
+fn compare_manifests(base: &Json, cur: &Json, opts: &Opts) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !opts.ignore_spans {
+        let b = by_name(base, "spans");
+        let c = by_name(cur, "spans");
+        for (name, bs) in &b {
+            if ignored(name, opts) {
+                continue;
+            }
+            let Some(cs) = c.get(name) else {
+                if f(bs, "count") > 0.0 {
+                    out.push(Finding {
+                        kind: "span",
+                        name: name.clone(),
+                        baseline: f(bs, "count"),
+                        current: 0.0,
+                        delta: -1.0,
+                        regression: true,
+                        note: "span missing from current run",
+                    });
+                }
+                continue;
+            };
+            for (metric, key) in [("p50_ns", "p50_ns"), ("p99_ns", "p99_ns")] {
+                let bv = f(bs, key);
+                let cv = f(cs, key);
+                let delta = rel(bv, cv);
+                let regression = bv > 0.0 && cv > bv * (1.0 + opts.span_threshold);
+                if regression || delta.abs() > opts.span_threshold {
+                    out.push(Finding {
+                        kind: "span",
+                        name: format!("{name}.{metric}"),
+                        baseline: bv,
+                        current: cv,
+                        delta,
+                        regression,
+                        note: if regression {
+                            "slower than threshold"
+                        } else {
+                            ""
+                        },
+                    });
+                }
+            }
+        }
+        for name in c.keys() {
+            if !b.contains_key(name) && !ignored(name, opts) {
+                out.push(Finding {
+                    kind: "span",
+                    name: name.clone(),
+                    baseline: 0.0,
+                    current: f(c[name], "count"),
+                    delta: f64::INFINITY,
+                    regression: false,
+                    note: "new span (not in baseline)",
+                });
+            }
+        }
+    }
+    let b = by_name(base, "counters");
+    let c = by_name(cur, "counters");
+    let mut names: Vec<&String> = b.keys().chain(c.keys()).collect();
+    names.sort();
+    names.dedup();
+    for name in names {
+        if ignored(name, opts) {
+            continue;
+        }
+        let bv = b.get(name).map(|v| f(v, "value")).unwrap_or(0.0);
+        let cv = c.get(name).map(|v| f(v, "value")).unwrap_or(0.0);
+        if bv == cv {
+            continue;
+        }
+        let delta = rel(bv, cv);
+        let regression = delta.abs() > opts.counter_threshold;
+        out.push(Finding {
+            kind: "counter",
+            name: name.clone(),
+            baseline: bv,
+            current: cv,
+            delta,
+            regression,
+            note: if regression { "counter drift" } else { "" },
+        });
+    }
+    out
+}
+
+/// Compare two BENCH trajectories record-by-record on `ns_per_iter`.
+fn compare_benches(base: &Json, cur: &Json, opts: &Opts) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let b = by_name(base, "records");
+    let c = by_name(cur, "records");
+    for (name, bs) in &b {
+        if ignored(name, opts) {
+            continue;
+        }
+        let Some(cs) = c.get(name) else {
+            out.push(Finding {
+                kind: "bench",
+                name: name.clone(),
+                baseline: f(bs, "ns_per_iter"),
+                current: 0.0,
+                delta: -1.0,
+                regression: true,
+                note: "record missing from current run",
+            });
+            continue;
+        };
+        let bv = f(bs, "ns_per_iter");
+        let cv = f(cs, "ns_per_iter");
+        let delta = rel(bv, cv);
+        let regression = bv > 0.0 && cv > bv * (1.0 + opts.bench_threshold);
+        if regression || delta.abs() > opts.bench_threshold {
+            out.push(Finding {
+                kind: "bench",
+                name: name.clone(),
+                baseline: bv,
+                current: cv,
+                delta,
+                regression,
+                note: if regression {
+                    "slower than threshold"
+                } else {
+                    ""
+                },
+            });
+        }
+    }
+    out
+}
+
+fn verdict_json(findings: &[Finding], regressions: usize) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, fd) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"kind\": \"{}\", \"name\": \"{}\", \"baseline\": {}, \
+             \"current\": {}, \"delta\": {}, \"regression\": {}, \"note\": \"{}\"}}",
+            json::escape(fd.kind),
+            json::escape(&fd.name),
+            json::num(fd.baseline),
+            json::num(fd.current),
+            json::num(fd.delta),
+            fd.regression,
+            json::escape(fd.note),
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!("],\n  \"regressions\": {regressions}\n}}\n"));
+    s
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let (base, cur) = match (load(&opts.baseline), load(&opts.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base_is_bench = base.get("records").is_some();
+    if base_is_bench != cur.get("records").is_some() {
+        eprintln!("error: cannot compare a BENCH trajectory against an OBS manifest");
+        return ExitCode::from(2);
+    }
+    let findings = if base_is_bench {
+        compare_benches(&base, &cur, &opts)
+    } else {
+        compare_manifests(&base, &cur, &opts)
+    };
+    let regressions = findings.iter().filter(|fd| fd.regression).count();
+
+    println!(
+        "obs_report: {} vs {} ({})",
+        opts.baseline,
+        opts.current,
+        if base_is_bench {
+            "bench trajectory"
+        } else {
+            "obs manifest"
+        }
+    );
+    if findings.is_empty() {
+        println!("no deltas beyond thresholds; {regressions} regression(s)");
+    } else {
+        println!(
+            "{:<9} {:<44} {:>14} {:>14} {:>9}  note",
+            "kind", "name", "baseline", "current", "delta"
+        );
+        for fd in &findings {
+            let flag = if fd.regression { "REGRESSION " } else { "" };
+            println!(
+                "{:<9} {:<44} {:>14.1} {:>14.1} {:>8.1}%  {}{}",
+                fd.kind,
+                fd.name,
+                fd.baseline,
+                fd.current,
+                fd.delta * 100.0,
+                flag,
+                fd.note,
+            );
+        }
+        println!(
+            "{} finding(s), {} regression(s)",
+            findings.len(),
+            regressions
+        );
+    }
+    if let Some(path) = &opts.json_out {
+        let doc = verdict_json(&findings, regressions);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("error: --json {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if opts.check && regressions > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -27,34 +27,41 @@ pub fn budget_from_args() -> FigureBudget {
     }
 }
 
-/// Arm the observability layer for a figure binary.
+/// Arm the observability layers for a figure binary.
 ///
 /// Every figure calls this once at startup: `--obs` on the command line
-/// force-enables recording (equivalent to `BACKFI_OBS=1`), run metadata
-/// (figure id, quick/paper mode, trial budget, a config hash) is stamped into
-/// the manifest, and the returned [`backfi_obs::RunScope`] guard writes
-/// `OBS_<figure>.json` at the repo root when it drops at the end of `main`.
+/// force-enables recording (equivalent to `BACKFI_OBS=1`) and `--trace`
+/// force-enables the event tracer (equivalent to `BACKFI_TRACE=1`). Run
+/// metadata (figure id, quick/paper mode, trial budget, a config hash) is
+/// stamped into the manifest, and the returned [`backfi_obs::RunScope`]
+/// guard writes `OBS_<figure>.json` (recorder on) and/or `TRACE_<figure>.json`
+/// (tracer on) at the repo root when it drops at the end of `main`.
 ///
-/// Returns `None` when observability is off — the entire layer then costs
-/// the figure one relaxed atomic load per instrumentation point, and no
-/// manifest is written. All obs output goes to stderr and the JSON file;
-/// stdout stays byte-identical either way.
+/// Returns `None` when both layers are off — the figure then pays one
+/// relaxed atomic load per instrumentation point, and no file is written.
+/// All obs/trace output goes to stderr and the JSON files; stdout stays
+/// byte-identical either way.
 pub fn obs_setup(figure: &str, budget: &FigureBudget) -> Option<backfi_obs::RunScope> {
     if std::env::args().any(|a| a == "--obs") {
         backfi_obs::enable();
     }
-    if !backfi_obs::enabled() {
+    if std::env::args().any(|a| a == "--trace") {
+        backfi_obs::trace::enable();
+    }
+    if !backfi_obs::enabled() && !backfi_obs::trace::enabled() {
         return None;
     }
-    let quick = std::env::args().any(|a| a == "--quick" || a == "--short");
-    backfi_obs::set_meta("figure", figure);
-    backfi_obs::set_meta("mode", if quick { "quick" } else { "paper" });
-    backfi_obs::set_meta("trials", &budget.trials.to_string());
-    let cfg = format!("{budget:?}");
-    backfi_obs::set_meta(
-        "config_hash",
-        &format!("{:016x}", backfi_obs::fnv1a64(cfg.as_bytes())),
-    );
+    if backfi_obs::enabled() {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--short");
+        backfi_obs::set_meta("figure", figure);
+        backfi_obs::set_meta("mode", if quick { "quick" } else { "paper" });
+        backfi_obs::set_meta("trials", &budget.trials.to_string());
+        let cfg = format!("{budget:?}");
+        backfi_obs::set_meta(
+            "config_hash",
+            &format!("{:016x}", backfi_obs::fnv1a64(cfg.as_bytes())),
+        );
+    }
     backfi_obs::run_scope(figure)
 }
 

@@ -1,0 +1,166 @@
+//! Cross-process telemetry regression tests: a sharded run against real
+//! `sweep_worker` subprocesses must land the same counter totals in the
+//! coordinator's registry as the equivalent in-process run (the worker-side
+//! observability loss fixed by the telemetry blocks in RESULT frames), and
+//! with tracing on the merged timeline must carry one lane per worker
+//! process.
+
+use backfi_core::sweep::service::{self, WorkerPool};
+use backfi_core::sweep::{grid_cells, run_grid_on, Executor};
+use backfi_core::LinkConfig;
+use backfi_obs as obs;
+use backfi_tag::config::TagConfig;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A `sweep_worker` subprocess, killed on drop.
+struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn the real worker binary on an OS-assigned port and parse the bound
+/// address from its stderr announcement.
+fn spawn_worker_process() -> Worker {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sweep_worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sweep_worker");
+    let stderr = child.stderr.take().expect("worker stderr piped");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("worker exited before announcing its address")
+            .expect("read worker stderr");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after 'listening on'")
+                .to_string();
+        }
+    };
+    // Keep draining so the worker never blocks on a full stderr pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Worker { child, addr }
+}
+
+/// Small 4-cell grid (mirrors the core service tests).
+fn grid() -> Vec<LinkConfig> {
+    let slow = TagConfig::default();
+    let fast = TagConfig {
+        symbol_rate_hz: 2.5e6,
+        ..TagConfig::default()
+    };
+    let mut cells = Vec::new();
+    for &d in &[1.0, 2.5] {
+        let mut base = LinkConfig::at_distance(d);
+        base.excitation.wifi_payload_bytes = 1200;
+        cells.extend(grid_cells(&base, &[slow, fast]));
+    }
+    cells
+}
+
+/// The deterministic per-trial counters: everything the link/reader layers
+/// count. Excludes `excitation.cache_*` (thread-scheduling-dependent: racing
+/// first-builds each count a miss) and `sweep.*` (topology-dependent by
+/// design — cache and service counters describe *where* work ran).
+fn trial_counters() -> BTreeMap<String, u64> {
+    obs::counter_dump()
+        .into_iter()
+        .filter(|(n, _)| n.starts_with("link.") || n.starts_with("reader."))
+        .collect()
+}
+
+#[test]
+fn sharded_counter_totals_match_in_process_run() {
+    let _g = lock();
+    let cells = grid();
+    let trials = 2usize;
+    let seed0 = 4242u64;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+
+    obs::disable();
+    obs::reset();
+    obs::enable();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, seed0);
+    let local = trial_counters();
+    assert!(
+        local.get("link.trials").copied().unwrap_or(0) >= (cells.len() * trials) as u64,
+        "in-process run must count its trials: {local:?}"
+    );
+
+    let workers = [spawn_worker_process(), spawn_worker_process()];
+    obs::reset();
+    let pool = WorkerPool::new(workers.iter().map(|w| w.addr.clone()).collect());
+    let sharded =
+        service::run_sharded(&pool, &cells, trials, seed0, &bases).expect("2-worker sharded run");
+    let remote = trial_counters();
+    obs::disable();
+    obs::reset();
+
+    assert_eq!(sharded.len(), reference.len());
+    for (i, (a, b)) in reference.iter().zip(&sharded).enumerate() {
+        assert_eq!(
+            a.success_rate.to_bits(),
+            b.success_rate.to_bits(),
+            "stats[{i}] must stay bit-identical with telemetry enabled"
+        );
+    }
+    assert_eq!(
+        local, remote,
+        "worker telemetry must reproduce in-process counter totals exactly"
+    );
+}
+
+#[test]
+fn sharded_trace_carries_one_lane_per_worker() {
+    let _g = lock();
+    let cells = grid();
+    let trials = 1usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+
+    obs::disable();
+    obs::reset();
+    obs::trace::disable();
+    obs::trace::reset();
+    obs::trace::enable();
+
+    let workers = [spawn_worker_process(), spawn_worker_process()];
+    let pool = WorkerPool::new(workers.iter().map(|w| w.addr.clone()).collect());
+    service::run_sharded(&pool, &cells, trials, 911, &bases).expect("2-worker traced run");
+
+    let doc = obs::trace::trace_json("worker_lanes");
+    obs::trace::reset();
+    obs::trace::disable();
+
+    obs::json::validate(&doc).expect("merged timeline is valid JSON");
+    for lane in ["coordinator", "worker 1", "worker 2"] {
+        assert!(
+            doc.contains(&format!("{{\"name\":\"{lane}\"}}")),
+            "timeline must have a {lane} process lane"
+        );
+    }
+    assert!(
+        doc.contains("\"name\":\"link.success\"") || doc.contains("\"name\":\"link.fail"),
+        "worker lanes must carry real per-trial events"
+    );
+}

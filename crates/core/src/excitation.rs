@@ -94,10 +94,14 @@ impl Excitation {
     /// The returned value is sample-identical to `Excitation::build(cfg)`;
     /// only the synthesis cost is amortized.
     pub fn cached(cfg: &ExcitationConfig) -> Arc<Excitation> {
+        let _t = backfi_obs::span("excitation.fetch");
         let key = cfg.cache_key();
         if let Some(hit) = cache().lock().expect("excitation cache poisoned").get(&key) {
+            backfi_obs::counter_add("excitation.cache_hit", 1);
             return hit.clone();
         }
+        backfi_obs::counter_add("excitation.cache_miss", 1);
+        backfi_obs::trace::instant("excitation.build");
         // Build outside the lock so a long synthesis doesn't block lookups
         // of other configs; concurrent first-builds of the same config both
         // compute, which is deterministic and rare.

@@ -303,10 +303,17 @@ impl LinkSimulator {
                 backfi_obs::probe("link.pre_fec_ber", pre_fec_ber);
                 if success {
                     backfi_obs::counter_add("link.success", 1);
+                    backfi_obs::trace::instant_arg(
+                        "link.success",
+                        "snr_db",
+                        res.metrics.symbol_snr_db,
+                    );
                 } else if !frame_fits {
                     backfi_obs::counter_add("link.fail.stream_ber", 1);
+                    backfi_obs::trace::instant_arg("link.fail", "pre_fec_ber", pre_fec_ber);
                 } else if res.payload.is_err() {
                     backfi_obs::counter_add("link.fail.crc", 1);
+                    backfi_obs::trace::instant("link.fail.crc");
                 } else {
                     // CRC validated but the bytes differ from what the tag
                     // loaded — an undetected-error event worth counting apart.
@@ -353,6 +360,7 @@ impl LinkSimulator {
                     ReaderError::InvalidInput => "link.fail.invalid_input",
                 };
                 backfi_obs::counter_add(stage, 1);
+                backfi_obs::trace::instant(stage);
                 LinkReport {
                     success: false,
                     sent,

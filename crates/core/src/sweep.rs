@@ -205,6 +205,7 @@ impl Executor {
     {
         let n = items.len();
         let t0 = Instant::now();
+        let _t_pass = backfi_obs::span("sweep.pass");
         let threads = self.threads.min(n.max(1));
         let progress = Progress::new(n);
         let run_job = |i: usize, item: &I| {

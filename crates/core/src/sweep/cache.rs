@@ -190,11 +190,13 @@ impl ResultCache {
     /// entry is deleted so the recomputed value can replace it) or I/O
     /// error — the caller recomputes in every miss case.
     pub fn get(&self, key: CacheKey) -> Option<TrialStats> {
+        let _t = backfi_obs::span("sweep.cache.get");
         let path = self.entry_path(key);
         let miss = match fs::read(&path) {
             Ok(bytes) => match decode_record(&bytes, self.salt, key) {
                 Ok(stats) => {
                     backfi_obs::counter_add("sweep.cache.hit", 1);
+                    backfi_obs::trace::instant("sweep.cache.hit");
                     return Some(stats);
                 }
                 Err(m) => m,
@@ -211,6 +213,7 @@ impl ResultCache {
             ReadMiss::Io => backfi_obs::counter_add("sweep.cache.io_error", 1),
         }
         backfi_obs::counter_add("sweep.cache.miss", 1);
+        backfi_obs::trace::instant("sweep.cache.miss");
         None
     }
 
@@ -219,6 +222,7 @@ impl ResultCache {
     /// temp-file + atomic rename, so concurrent writers of the same key
     /// each publish a complete record and one of them wins.
     pub fn put(&self, key: CacheKey, stats: &TrialStats) {
+        let _t = backfi_obs::span("sweep.cache.put");
         let record = encode_record(self.salt, key, stats);
         let path = self.entry_path(key);
         let shard = path.parent().expect("entry path always has a shard dir");

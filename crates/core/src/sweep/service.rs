@@ -22,14 +22,17 @@ use crate::link::LinkConfig;
 use crate::sweep::cache::code_salt;
 use crate::sweep::codec::{self, Cursor, Writer, TRIAL_STATS_LEN};
 use crate::sweep::{run_grid_indexed_local, Executor, TrialStats};
+use backfi_obs::trace;
+use backfi_obs::{RawProbe, RawSpanHist};
 use std::io::{self, Read, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Wire protocol version; carried in the HELLO frame and bumped with any
-/// frame-layout change.
-pub const PROTO_VERSION: u32 = 1;
+/// frame-layout change. v2 added the process nonce to HELLO, the telemetry
+/// request flags to JOB and the telemetry block to RESULT (DESIGN.md §13).
+pub const PROTO_VERSION: u32 = 2;
 
 /// Frame magic: `b"BFSWEEP1"` little-endian.
 pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"BFSWEEP1");
@@ -38,6 +41,30 @@ pub const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"BFSWEEP1");
 const KIND_HELLO: u8 = 1;
 const KIND_JOB: u8 = 2;
 const KIND_RESULT: u8 = 3;
+
+/// JOB flag: the coordinator's obs recorder is on — ship the job's counter,
+/// span-histogram and probe deltas back in the RESULT telemetry block.
+pub const FLAG_TELEMETRY: u64 = 1;
+/// JOB flag: the coordinator's tracer is on — ship the job's trace events.
+pub const FLAG_TRACE: u64 = 2;
+
+/// A nonce identifying this *process* (not this build): lets a coordinator
+/// detect a loopback worker running in its own process, where the obs
+/// registry is shared and telemetry must not be absorbed twice. Never part
+/// of determinism-relevant state.
+fn process_nonce() -> u64 {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut bytes = Vec::with_capacity(12);
+        bytes.extend_from_slice(&std::process::id().to_le_bytes());
+        bytes.extend_from_slice(&t.to_le_bytes());
+        codec::fnv1a64(&bytes)
+    })
+}
 
 /// Why a sharded run could not complete (the caller falls back to local).
 #[derive(Debug)]
@@ -116,16 +143,18 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServiceError> {
 // -------------------------------------------------------------- messages ---
 
 fn hello_body(salt: u64) -> Vec<u8> {
-    let mut w = Writer::with_capacity(16);
+    let mut w = Writer::with_capacity(24);
     w.u8(KIND_HELLO);
     w.u32(PROTO_VERSION);
     w.u64(salt);
+    w.u64(process_nonce());
     w.into_bytes()
 }
 
-fn job_body(cells: &[LinkConfig], trials: usize, seed0: u64, bases: &[u64]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(64 + cells.len() * 352);
+fn job_body(cells: &[LinkConfig], trials: usize, seed0: u64, bases: &[u64], flags: u64) -> Vec<u8> {
+    let mut w = Writer::with_capacity(72 + cells.len() * 352);
     w.u8(KIND_JOB);
+    w.u64(flags);
     w.u64(seed0);
     w.u64(trials as u64);
     w.u64(cells.len() as u64);
@@ -138,17 +167,180 @@ fn job_body(cells: &[LinkConfig], trials: usize, seed0: u64, bases: &[u64]) -> V
     w.into_bytes()
 }
 
-fn result_body(stats: &[TrialStats]) -> Vec<u8> {
-    let mut w = Writer::with_capacity(16 + stats.len() * TRIAL_STATS_LEN);
+// ------------------------------------------------------- shard telemetry ---
+
+/// Everything a worker recorded while computing one shard, shipped back in
+/// the RESULT frame so sharded runs lose no observability (counters, span
+/// histograms and probes are per-job *deltas*; trace events are the job's
+/// own, timestamped against the worker's epoch).
+#[derive(Clone, Debug, Default)]
+pub struct ShardTelemetry {
+    /// Counter deltas, `(name, delta)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Span histogram deltas in raw bucket form.
+    pub spans: Vec<RawSpanHist>,
+    /// Probe deltas (count/sum are deltas; min/max are the worker's
+    /// process-cumulative bounds — a widening approximation).
+    pub probes: Vec<RawProbe>,
+    /// Trace events the job emitted (empty unless [`FLAG_TRACE`] was set).
+    pub events: Vec<trace::Event>,
+}
+
+impl ShardTelemetry {
+    /// Whether there is nothing to ship.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.spans.is_empty()
+            && self.probes.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+fn write_str(w: &mut Writer, s: &str) {
+    w.u64(s.len() as u64);
+    w.raw(s.as_bytes());
+}
+
+fn read_str(c: &mut Cursor) -> Result<String, ServiceError> {
+    let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
+    let len = c.u64().map_err(p)? as usize;
+    let bytes = c.slice(len).map_err(p)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| ServiceError::Protocol("non-UTF-8 telemetry name".into()))
+}
+
+fn encode_telemetry(w: &mut Writer, t: &ShardTelemetry) {
+    w.u64(t.counters.len() as u64);
+    for (name, v) in &t.counters {
+        write_str(w, name);
+        w.u64(*v);
+    }
+    w.u64(t.spans.len() as u64);
+    for s in &t.spans {
+        write_str(w, &s.name);
+        w.u64(s.count);
+        w.u64(s.sum);
+        w.u64(s.max);
+        w.u64(s.buckets.len() as u64);
+        for &(i, c) in &s.buckets {
+            w.u8(i);
+            w.u64(c);
+        }
+    }
+    w.u64(t.probes.len() as u64);
+    for p in &t.probes {
+        write_str(w, &p.name);
+        w.u64(p.count);
+        w.f64(p.sum);
+        w.f64(p.min);
+        w.f64(p.max);
+    }
+    w.u64(t.events.len() as u64);
+    for ev in &t.events {
+        write_str(w, &ev.name);
+        w.u8(ev.phase.wire_tag());
+        w.u64(ev.ts_ns);
+        w.u64(ev.dur_ns);
+        w.u32(ev.tid);
+        match &ev.arg {
+            Some((k, v)) => {
+                w.u8(1);
+                write_str(w, k);
+                w.f64(*v);
+            }
+            None => w.u8(0),
+        }
+    }
+}
+
+fn decode_telemetry(c: &mut Cursor) -> Result<ShardTelemetry, ServiceError> {
+    let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
+    let mut t = ShardTelemetry::default();
+    let n = c.u64().map_err(p)? as usize;
+    for _ in 0..n {
+        let name = read_str(c)?;
+        let v = c.u64().map_err(p)?;
+        t.counters.push((name, v));
+    }
+    let n = c.u64().map_err(p)? as usize;
+    for _ in 0..n {
+        let name = read_str(c)?;
+        let count = c.u64().map_err(p)?;
+        let sum = c.u64().map_err(p)?;
+        let max = c.u64().map_err(p)?;
+        let nb = c.u64().map_err(p)? as usize;
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let i = c.u8().map_err(p)?;
+            let cnt = c.u64().map_err(p)?;
+            buckets.push((i, cnt));
+        }
+        t.spans.push(RawSpanHist {
+            name,
+            count,
+            sum,
+            max,
+            buckets,
+        });
+    }
+    let n = c.u64().map_err(p)? as usize;
+    for _ in 0..n {
+        let name = read_str(c)?;
+        let count = c.u64().map_err(p)?;
+        let sum = c.f64().map_err(p)?;
+        let min = c.f64().map_err(p)?;
+        let max = c.f64().map_err(p)?;
+        t.probes.push(RawProbe {
+            name,
+            count,
+            sum,
+            min,
+            max,
+        });
+    }
+    let n = c.u64().map_err(p)? as usize;
+    for _ in 0..n {
+        let name = read_str(c)?;
+        let tag = c.u8().map_err(p)?;
+        let phase = trace::Phase::from_wire_tag(tag)
+            .ok_or_else(|| ServiceError::Protocol(format!("bad trace phase tag {tag}")))?;
+        let ts_ns = c.u64().map_err(p)?;
+        let dur_ns = c.u64().map_err(p)?;
+        let tid = c.u32().map_err(p)?;
+        let arg = if c.u8().map_err(p)? != 0 {
+            let k = read_str(c)?;
+            let v = c.f64().map_err(p)?;
+            Some((k.into(), v))
+        } else {
+            None
+        };
+        t.events.push(trace::Event {
+            name: name.into(),
+            phase,
+            ts_ns,
+            dur_ns,
+            tid,
+            arg,
+        });
+    }
+    Ok(t)
+}
+
+fn result_body(stats: &[TrialStats], telemetry: &ShardTelemetry) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + stats.len() * TRIAL_STATS_LEN);
     w.u8(KIND_RESULT);
     w.u64(stats.len() as u64);
     for s in stats {
         codec::encode_trial_stats(&mut w, s);
     }
+    encode_telemetry(&mut w, telemetry);
     w.into_bytes()
 }
 
-fn parse_result(body: &[u8], expect: usize) -> Result<Vec<TrialStats>, ServiceError> {
+fn parse_result(
+    body: &[u8],
+    expect: usize,
+) -> Result<(Vec<TrialStats>, ShardTelemetry), ServiceError> {
     let mut c = Cursor::new(body);
     let kind = c.u8().map_err(|e| ServiceError::Protocol(e.to_string()))?;
     if kind != KIND_RESULT {
@@ -168,7 +360,8 @@ fn parse_result(body: &[u8], expect: usize) -> Result<Vec<TrialStats>, ServiceEr
             codec::decode_trial_stats(&mut c).map_err(|e| ServiceError::Protocol(e.to_string()))?,
         );
     }
-    Ok(out)
+    let telemetry = decode_telemetry(&mut c)?;
+    Ok((out, telemetry))
 }
 
 // ---------------------------------------------------------------- worker ---
@@ -202,6 +395,95 @@ pub fn serve_with_salt(
     Ok(())
 }
 
+/// The worker-side snapshot of the obs registry taken before a job runs;
+/// subtracting it from the post-job state yields the job's own telemetry
+/// even though the registry is process-cumulative across jobs.
+struct ObsBaseline {
+    counters: std::collections::BTreeMap<String, u64>,
+    spans: std::collections::BTreeMap<String, RawSpanHist>,
+    probes: std::collections::BTreeMap<String, (u64, f64)>,
+}
+
+fn obs_baseline() -> ObsBaseline {
+    ObsBaseline {
+        counters: backfi_obs::counter_dump().into_iter().collect(),
+        spans: backfi_obs::span_dump()
+            .into_iter()
+            .map(|s| (s.name.clone(), s))
+            .collect(),
+        probes: backfi_obs::probe_dump()
+            .into_iter()
+            .map(|p| (p.name, (p.count, p.sum)))
+            .collect(),
+    }
+}
+
+/// The job's telemetry delta: counters, span histograms and probe
+/// count/sum subtract the baseline exactly; span max and probe min/max are
+/// the worker's process-cumulative bounds (a widening approximation that
+/// only matters when one worker process serves several jobs).
+fn telemetry_since(base: &ObsBaseline) -> ShardTelemetry {
+    let counters = backfi_obs::counter_dump()
+        .into_iter()
+        .filter_map(|(name, v)| {
+            let d = v - base.counters.get(&name).copied().unwrap_or(0);
+            (d > 0).then_some((name, d))
+        })
+        .collect();
+    let spans = backfi_obs::span_dump()
+        .into_iter()
+        .filter_map(|s| {
+            let (bc, bs, bb): (u64, u64, &[(u8, u64)]) = match base.spans.get(&s.name) {
+                Some(b) => (b.count, b.sum, &b.buckets),
+                None => (0, 0, &[]),
+            };
+            let count = s.count - bc;
+            if count == 0 {
+                return None;
+            }
+            let buckets = s
+                .buckets
+                .iter()
+                .filter_map(|&(i, c)| {
+                    let prev = bb
+                        .iter()
+                        .find(|&&(bi, _)| bi == i)
+                        .map(|&(_, c)| c)
+                        .unwrap_or(0);
+                    (c > prev).then_some((i, c - prev))
+                })
+                .collect();
+            Some(RawSpanHist {
+                name: s.name,
+                count,
+                sum: s.sum - bs,
+                max: s.max,
+                buckets,
+            })
+        })
+        .collect();
+    let probes = backfi_obs::probe_dump()
+        .into_iter()
+        .filter_map(|p| {
+            let (bc, bs) = base.probes.get(&p.name).copied().unwrap_or((0, 0.0));
+            let count = p.count - bc;
+            (count > 0).then_some(RawProbe {
+                name: p.name,
+                count,
+                sum: p.sum - bs,
+                min: p.min,
+                max: p.max,
+            })
+        })
+        .collect();
+    ShardTelemetry {
+        counters,
+        spans,
+        probes,
+        events: Vec::new(),
+    }
+}
+
 fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
     write_frame(stream, &hello_body(salt))?;
     while let Some(body) = read_frame(stream)? {
@@ -213,6 +495,7 @@ fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
             )));
         }
         let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
+        let flags = c.u64().map_err(p)?;
         let seed0 = c.u64().map_err(p)?;
         let trials = c.u64().map_err(p)? as usize;
         let n = c.u64().map_err(p)? as usize;
@@ -225,8 +508,22 @@ fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
             let mut cc = Cursor::new(blob);
             cells.push(codec::decode_link_config(&mut cc).map_err(p)?);
         }
+        // The coordinator's obs/trace state arms the same layers here, so a
+        // worker records exactly what an in-process run would have.
+        let baseline = (flags & FLAG_TELEMETRY != 0).then(|| {
+            backfi_obs::enable();
+            obs_baseline()
+        });
+        if flags & FLAG_TRACE != 0 {
+            trace::enable();
+            trace::take_local_events(); // discard pre-job leftovers
+        }
         let stats = run_grid_indexed_local(&Executor::new(), &cells, trials, seed0, &bases);
-        write_frame(stream, &result_body(&stats))?;
+        let mut telemetry = baseline.as_ref().map(telemetry_since).unwrap_or_default();
+        if flags & FLAG_TRACE != 0 {
+            telemetry.events = trace::take_local_events();
+        }
+        write_frame(stream, &result_body(&stats, &telemetry))?;
     }
     Ok(())
 }
@@ -258,14 +555,14 @@ impl WorkerPool {
 }
 
 /// One shard conversation: connect, validate HELLO, send the cell slice,
-/// collect its stats.
+/// collect its stats and telemetry.
 fn run_shard(
     addr: &str,
     cells: &[LinkConfig],
     trials: usize,
     seed0: u64,
     bases: &[u64],
-) -> Result<Vec<TrialStats>, ServiceError> {
+) -> Result<(Vec<TrialStats>, ShardTelemetry), ServiceError> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
     let hello = read_frame(&mut stream)?
@@ -288,7 +585,19 @@ fn run_shard(
             code_salt()
         )));
     }
-    write_frame(&mut stream, &job_body(cells, trials, seed0, bases))?;
+    let peer_nonce = c.u64().map_err(p)?;
+    // A loopback worker inside this very process records straight into our
+    // registry and rings — requesting telemetry would double-count it.
+    let mut flags = 0u64;
+    if peer_nonce != process_nonce() {
+        if backfi_obs::enabled() {
+            flags |= FLAG_TELEMETRY;
+        }
+        if trace::enabled() {
+            flags |= FLAG_TRACE;
+        }
+    }
+    write_frame(&mut stream, &job_body(cells, trials, seed0, bases, flags))?;
     let res = read_frame(&mut stream)?
         .ok_or_else(|| ServiceError::Protocol("worker closed before RESULT".into()))?;
     parse_result(&res, cells.len())
@@ -318,19 +627,22 @@ pub fn run_sharded(
         .step_by(shard)
         .map(|lo| (lo, (lo + shard).min(n)))
         .collect();
-    let results: Vec<Result<Vec<TrialStats>, ServiceError>> = std::thread::scope(|scope| {
+    type ShardOut = Result<(Vec<TrialStats>, ShardTelemetry, u64), ServiceError>;
+    let results: Vec<ShardOut> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .zip(&pool.addrs)
             .map(|(&(lo, hi), addr)| {
                 scope.spawn(move || {
                     let t0 = Instant::now();
+                    let t0_ns = trace::now_ns();
                     let out = run_shard(addr, &cells[lo..hi], trials, seed0, &bases[lo..hi]);
-                    backfi_obs::record_span_ns(
-                        "sweep.service.shard",
-                        t0.elapsed().as_nanos() as u64,
-                    );
-                    out
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    backfi_obs::record_span_ns("sweep.service.shard", elapsed);
+                    if trace::enabled() {
+                        trace::complete_from("sweep.service.shard", t0, elapsed);
+                    }
+                    out.map(|(stats, telemetry)| (stats, telemetry, t0_ns))
                 })
             })
             .collect();
@@ -342,9 +654,27 @@ pub fn run_sharded(
             })
             .collect()
     });
+    // Merge stats in shard (= cell) order, and absorb each shard's telemetry
+    // under a stable per-shard process lane: shard `s` → trace pid `s + 1`
+    // (the coordinator itself is pid 0). Shard order is fixed by the cell
+    // split, so the merged manifest and timeline are deterministic for a
+    // fixed seed and worker count.
     let mut merged = Vec::with_capacity(n);
-    for r in results {
-        merged.extend(r?);
+    for (shard_idx, r) in results.into_iter().enumerate() {
+        let (stats, telemetry, t0_ns) = r?;
+        merged.extend(stats);
+        for (name, delta) in &telemetry.counters {
+            backfi_obs::absorb_counter(name, *delta);
+        }
+        for s in &telemetry.spans {
+            backfi_obs::absorb_span_hist(&s.name, s.count, s.sum, s.max, &s.buckets);
+        }
+        for pr in &telemetry.probes {
+            backfi_obs::absorb_probe(&pr.name, pr.count, pr.sum, pr.min, pr.max);
+        }
+        if !telemetry.events.is_empty() {
+            trace::add_remote_events(shard_idx as u32 + 1, t0_ns, telemetry.events);
+        }
     }
     Ok(merged)
 }

@@ -88,6 +88,12 @@ impl Json {
     }
 }
 
+/// Check that `s` is one complete, well-formed JSON document. A thin veneer
+/// over [`parse`] for callers (tests, CI) that only care about validity.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
+}
+
 /// Parse a JSON document. Errors carry a byte offset and a short reason.
 pub fn parse(s: &str) -> Result<Json, String> {
     let b = s.as_bytes();

@@ -39,6 +39,7 @@
 pub mod hist;
 pub mod json;
 pub mod probe;
+pub mod trace;
 
 use hist::Histogram;
 use probe::ProbeStats;
@@ -141,18 +142,29 @@ pub struct Span {
 }
 
 /// Start a scoped timer for stage `name`.
+///
+/// The guard records into the latency histogram when the recorder is on,
+/// **and** emits a complete slice on the current thread's [`trace`] timeline
+/// when the tracer is on — one clock read either way. With both layers off
+/// the guard is inert (two relaxed atomic loads, no clock read).
 #[inline]
 pub fn span(name: &'static str) -> Span {
     Span {
         name,
-        start: enabled().then(Instant::now),
+        start: (enabled() || trace::enabled()).then(Instant::now),
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(t0) = self.start {
-            record_span_ns(self.name, t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            if enabled() {
+                record_span_ns(self.name, ns);
+            }
+            if trace::enabled() {
+                trace::complete_from(self.name, t0, ns);
+            }
         }
     }
 }
@@ -239,6 +251,131 @@ pub fn reset() {
     r.gauges.write().expect("obs registry poisoned").clear();
     r.probes.write().expect("obs registry poisoned").clear();
     r.meta.lock().expect("obs meta poisoned").clear();
+}
+
+// ---------------------------------------------------- raw telemetry (wire) ---
+
+/// The raw, mergeable state of one span histogram: exact bucket counts
+/// rather than resolved quantiles, so a remote worker's histogram can be
+/// absorbed into the coordinator's without precision loss (DESIGN.md §13).
+#[derive(Clone, Debug)]
+pub struct RawSpanHist {
+    /// Stage name.
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub sum: u64,
+    /// Largest recorded span, nanoseconds.
+    pub max: u64,
+    /// Non-zero `(bucket index, count)` pairs (see [`hist::Histogram`]).
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// The raw, mergeable state of one probe point.
+#[derive(Clone, Debug)]
+pub struct RawProbe {
+    /// Probe name.
+    pub name: String,
+    /// Finite samples recorded.
+    pub count: u64,
+    /// Sum of the samples.
+    pub sum: f64,
+    /// Smallest sample (+∞ when empty).
+    pub min: f64,
+    /// Largest sample (−∞ when empty).
+    pub max: f64,
+}
+
+/// Dump every span histogram in raw bucket form, sorted by name.
+pub fn span_dump() -> Vec<RawSpanHist> {
+    registry()
+        .spans
+        .read()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(name, h)| RawSpanHist {
+            name: name.to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max(),
+            buckets: h.nonzero_buckets(),
+        })
+        .collect()
+}
+
+/// Dump every counter as `(name, value)`, sorted by name.
+pub fn counter_dump() -> Vec<(String, u64)> {
+    registry()
+        .counters
+        .read()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Dump every probe point in raw form, sorted by name.
+pub fn probe_dump() -> Vec<RawProbe> {
+    registry()
+        .probes
+        .read()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(name, p)| RawProbe {
+            name: name.to_string(),
+            count: p.count(),
+            sum: p.sum(),
+            min: p.min(),
+            max: p.max(),
+        })
+        .collect()
+}
+
+/// Intern a runtime name into the `&'static str` key space the registry
+/// uses. The metric-name set is small and fixed, so the leak is bounded;
+/// repeated names resolve to the same interned pointer.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut g = map.lock().expect("obs intern table poisoned");
+    if let Some(&s) = g.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    g.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// Merge a remote counter delta into the local registry. Bypasses the
+/// enabled gate — the caller (the sweep coordinator) owns the decision to
+/// request and absorb remote telemetry.
+pub fn absorb_counter(name: &str, delta: u64) {
+    if delta > 0 {
+        with_entry(&registry().counters, intern(name), |c| {
+            c.fetch_add(delta, Ordering::Relaxed);
+        });
+    }
+}
+
+/// Merge a remote span histogram (raw bucket counts) into the local one.
+/// Bypasses the enabled gate, like [`absorb_counter`].
+pub fn absorb_span_hist(name: &str, count: u64, sum: u64, max: u64, buckets: &[(u8, u64)]) {
+    if count > 0 {
+        with_entry(&registry().spans, intern(name), |h| {
+            h.absorb(count, sum, max, buckets)
+        });
+    }
+}
+
+/// Merge a remote probe summary into the local one. Bypasses the enabled
+/// gate, like [`absorb_counter`].
+pub fn absorb_probe(name: &str, count: u64, sum: f64, min: f64, max: f64) {
+    if count > 0 {
+        with_entry(&registry().probes, intern(name), |p| {
+            p.absorb(count, sum, min, max)
+        });
+    }
 }
 
 // ----------------------------------------------------------------- macros ---
@@ -528,7 +665,7 @@ pub fn manifest_json(run: &str, snap: &Snapshot) -> String {
     s
 }
 
-fn sanitize_run_name(run: &str) -> String {
+pub(crate) fn sanitize_run_name(run: &str) -> String {
     run.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
@@ -563,17 +700,19 @@ pub fn write_manifest(run: &str) -> Option<PathBuf> {
     write_manifest_to(&manifest_dir(), run)
 }
 
-/// Guard tying a run to its manifest: emits `OBS_<run>.json` (and a one-line
-/// stderr pointer) when dropped. Created by [`run_scope`].
+/// Guard tying a run to its output files: emits `OBS_<run>.json` (recorder
+/// on) and/or `TRACE_<run>.json` (tracer on), each with a one-line stderr
+/// pointer, when dropped. Created by [`run_scope`].
 pub struct RunScope {
     run: String,
     t0: Instant,
 }
 
-/// Open a run scope named `run`. Returns `None` while the recorder is
-/// disabled, so holding the guard costs nothing in the default mode.
+/// Open a run scope named `run`. Returns `None` while both the recorder and
+/// the [`trace`] tracer are disabled, so holding the guard costs nothing in
+/// the default mode.
 pub fn run_scope(run: &str) -> Option<RunScope> {
-    enabled().then(|| RunScope {
+    (enabled() || trace::enabled()).then(|| RunScope {
         run: run.to_string(),
         t0: Instant::now(),
     })
@@ -582,8 +721,14 @@ pub fn run_scope(run: &str) -> Option<RunScope> {
 impl Drop for RunScope {
     fn drop(&mut self) {
         gauge_set("run.wall_s", self.t0.elapsed().as_secs_f64());
+        if trace::dropped() > 0 {
+            counter_add("trace.dropped_events", trace::dropped());
+        }
         if let Some(path) = write_manifest(&self.run) {
             eprintln!("# obs manifest: {}", path.display());
+        }
+        if let Some(path) = trace::write_trace(&self.run) {
+            eprintln!("# trace timeline: {}", path.display());
         }
     }
 }

@@ -81,9 +81,13 @@ pub fn decode_symbols(
         );
     }
 
-    let frame = TagFrame::parse(&decoded);
+    let frame = {
+        let _t = backfi_obs::span("decode.crc");
+        TagFrame::parse(&decoded)
+    };
     if frame.is_err() {
         backfi_obs::counter_add("reader.err.crc", 1);
+        backfi_obs::trace::instant("decode.crc_fail");
     }
 
     // Metrics over the symbols the frame actually occupies: the tag stops

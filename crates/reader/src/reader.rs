@@ -359,6 +359,7 @@ impl BackscatterReader {
             nominal
                 .or_else(|| {
                     backfi_obs::counter_add("reader.timing_reacquire", 1);
+                    let _t = backfi_obs::span("reader.acquire");
                     let span = (self.cfg.timing_span as isize).max(20) * 3;
                     let mut wide: Vec<isize> = vec![0];
                     let mut off = 10isize;
@@ -484,6 +485,8 @@ impl BackscatterReader {
             return None;
         }
         backfi_obs::counter_add("reader.sic_retrain", 1);
+        let _t = backfi_obs::span("reader.retrain");
+        backfi_obs::trace::instant_arg("reader.retrain", "tail_minus_head_db", tail_db - head_db);
         let rep2 = canceller.process(x_clean, y_rx, fallback_window(silent))?;
         let tail2_db = stats::db(backfi_dsp::simd::mean_power_auto(&rep2.samples[tail]));
         (tail2_db < tail_db).then_some(rep2)

@@ -140,12 +140,16 @@ impl SelfInterferenceCanceller {
         // Stage 2: digital subtraction, trained on the silent window.
         let samples = if self.cfg.digital_enabled {
             let _t = backfi_obs::span("sic.digital");
-            let dig = DigitalCanceller::train(
-                &x_clean[silent.clone()],
-                &digitized[silent.clone()],
-                self.cfg.digital_taps,
-                self.cfg.ridge,
-            )?;
+            let dig = {
+                let _t = backfi_obs::span("sic.digital.train");
+                DigitalCanceller::train(
+                    &x_clean[silent.clone()],
+                    &digitized[silent.clone()],
+                    self.cfg.digital_taps,
+                    self.cfg.ridge,
+                )?
+            };
+            let _t = backfi_obs::span("sic.digital.apply");
             dig.cancel(x_clean, &digitized)
         } else {
             digitized
