@@ -11,9 +11,12 @@
 //!
 //! `--listen` defaults to `127.0.0.1:0` (an OS-assigned port, printed on
 //! stderr) so loopback smoke tests need no port bookkeeping. The process
-//! serves until killed. Results are bit-identical to in-process execution
-//! by construction: every trial's seed is a pure function of the grid
-//! coordinates the coordinator ships with each cell.
+//! serves until killed: a bad peer, a failed accept or a wedged connection
+//! ends that conversation, never the listener, and per-connection reads are
+//! bounded by `BACKFI_SWEEP_TIMEOUT_MS` (default 10 min) so a vanished
+//! coordinator cannot pin a handler forever. Results are bit-identical to
+//! in-process execution by construction: every trial's seed is a pure
+//! function of the grid coordinates the coordinator ships with each cell.
 
 fn main() {
     backfi_bench::sweep_setup();

@@ -137,11 +137,21 @@ fn decode_record(bytes: &[u8], salt: u64, key: CacheKey) -> Result<TrialStats, R
     codec::decode_trial_stats(&mut c).map_err(|_| ReadMiss::Corrupt)
 }
 
+/// Consecutive filesystem errors before the store turns itself off. One-off
+/// hiccups (a transient EINTR, one unreadable entry) should not disable a
+/// warm cache; a dead mount or full disk will blow past this immediately.
+const DISABLE_AFTER: u32 = 8;
+
 /// A content-addressed on-disk store of per-cell sweep results.
 pub struct ResultCache {
     dir: PathBuf,
     salt: u64,
     tmp_seq: AtomicU64,
+    /// Consecutive I/O failures; reset by any successful disk interaction.
+    io_streak: std::sync::atomic::AtomicU32,
+    /// Once set, `get`/`put` are pass-through no-ops: an unwritable dir or
+    /// ENOSPC degrades the sweep to cold-cache, never to a failure.
+    disabled: std::sync::atomic::AtomicBool,
 }
 
 impl ResultCache {
@@ -155,6 +165,8 @@ impl ResultCache {
             dir: dir.to_path_buf(),
             salt: code_salt(),
             tmp_seq: AtomicU64::new(0),
+            io_streak: std::sync::atomic::AtomicU32::new(0),
+            disabled: std::sync::atomic::AtomicBool::new(false),
         };
         fs::create_dir_all(dir)?;
         let vfile = dir.join(VERSION_FILE);
@@ -180,6 +192,31 @@ impl ResultCache {
         &self.dir
     }
 
+    /// Whether the store has degraded to pass-through (test/diagnostic).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// One more filesystem failure; past [`DISABLE_AFTER`] in a row the
+    /// store turns itself off with a counter and one stderr warning.
+    fn note_io_error(&self) {
+        backfi_obs::counter_add("sweep.cache.io_error", 1);
+        let streak = self.io_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= DISABLE_AFTER && !self.disabled.swap(true, Ordering::Relaxed) {
+            backfi_obs::counter_add("sweep.cache.disabled", 1);
+            eprintln!(
+                "[backfi cache] {} consecutive I/O errors under {}; disabling cache \
+                 (results are unaffected, cells recompute)",
+                streak,
+                self.dir.display()
+            );
+        }
+    }
+
+    fn note_io_ok(&self) {
+        self.io_streak.store(0, Ordering::Relaxed);
+    }
+
     fn entry_path(&self, key: CacheKey) -> PathBuf {
         self.dir
             .join(format!("{:02x}", (key.hi >> 56) as u8))
@@ -190,11 +227,15 @@ impl ResultCache {
     /// entry is deleted so the recomputed value can replace it) or I/O
     /// error — the caller recomputes in every miss case.
     pub fn get(&self, key: CacheKey) -> Option<TrialStats> {
+        if self.is_disabled() {
+            return None;
+        }
         let _t = backfi_obs::span("sweep.cache.get");
         let path = self.entry_path(key);
         let miss = match fs::read(&path) {
             Ok(bytes) => match decode_record(&bytes, self.salt, key) {
                 Ok(stats) => {
+                    self.note_io_ok();
                     backfi_obs::counter_add("sweep.cache.hit", 1);
                     backfi_obs::trace::instant("sweep.cache.hit");
                     return Some(stats);
@@ -205,12 +246,13 @@ impl ResultCache {
             Err(_) => ReadMiss::Io,
         };
         match miss {
-            ReadMiss::Absent => {}
+            ReadMiss::Absent => self.note_io_ok(),
             ReadMiss::Corrupt => {
+                self.note_io_ok();
                 backfi_obs::counter_add("sweep.cache.corrupt", 1);
                 let _ = fs::remove_file(&path);
             }
-            ReadMiss::Io => backfi_obs::counter_add("sweep.cache.io_error", 1),
+            ReadMiss::Io => self.note_io_error(),
         }
         backfi_obs::counter_add("sweep.cache.miss", 1);
         backfi_obs::trace::instant("sweep.cache.miss");
@@ -222,6 +264,9 @@ impl ResultCache {
     /// temp-file + atomic rename, so concurrent writers of the same key
     /// each publish a complete record and one of them wins.
     pub fn put(&self, key: CacheKey, stats: &TrialStats) {
+        if self.is_disabled() {
+            return;
+        }
         let _t = backfi_obs::span("sweep.cache.put");
         let record = encode_record(self.salt, key, stats);
         let path = self.entry_path(key);
@@ -234,9 +279,12 @@ impl ResultCache {
         let ok = fs::create_dir_all(shard)
             .and_then(|_| fs::write(&tmp, &record))
             .and_then(|_| fs::rename(&tmp, &path));
-        if ok.is_err() {
-            backfi_obs::counter_add("sweep.cache.io_error", 1);
-            let _ = fs::remove_file(&tmp);
+        match ok {
+            Ok(()) => self.note_io_ok(),
+            Err(_) => {
+                self.note_io_error();
+                let _ = fs::remove_file(&tmp);
+            }
         }
     }
 
@@ -291,13 +339,15 @@ pub fn set_global(dir: Option<&Path>) -> io::Result<()> {
         Some(d) => Some(Arc::new(ResultCache::open(d)?)),
         None => None,
     };
-    *GLOBAL.lock().expect("cache global lock poisoned") = cache;
+    // The cache handle is plain config: a panic elsewhere while the lock
+    // was held cannot have corrupted it, so recover rather than cascade.
+    *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()) = cache;
     Ok(())
 }
 
 /// The installed process-wide cache, if any.
 pub fn global() -> Option<Arc<ResultCache>> {
-    GLOBAL.lock().expect("cache global lock poisoned").clone()
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 #[cfg(test)]
@@ -361,5 +411,30 @@ mod tests {
     fn record_layout_is_fixed_width() {
         let key = CacheKey { hi: 1, lo: 2 };
         assert_eq!(encode_record(code_salt(), key, &stats()).len(), RECORD_LEN);
+    }
+
+    #[test]
+    fn repeated_io_errors_degrade_to_pass_through() {
+        let dir = tmpdir("degrade");
+        let cache = ResultCache::open(&dir).unwrap();
+        let cfg = LinkConfig::at_distance(2.0);
+        // Yank the store out from under the handle and plant a file where
+        // the directory was: every subsequent write hits NotADirectory —
+        // the same shape as an unwritable or vanished mount.
+        fs::remove_dir_all(&dir).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
+        for i in 0..DISABLE_AFTER {
+            assert!(!cache.is_disabled(), "must tolerate {i} one-off errors");
+            cache.put(cell_key(&cfg, 1000, u64::from(i), 5), &stats());
+        }
+        assert!(
+            cache.is_disabled(),
+            "{DISABLE_AFTER} consecutive I/O errors must disable the store"
+        );
+        // Disabled store is inert: no panics, no results, no further I/O.
+        let key = cell_key(&cfg, 1000, 0, 5);
+        cache.put(key, &stats());
+        assert!(cache.get(key).is_none());
+        let _ = fs::remove_file(&dir);
     }
 }

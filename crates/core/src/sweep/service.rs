@@ -1,9 +1,9 @@
 //! Coordinator/worker sweep sharding over TCP — `std::net` only.
 //!
-//! A coordinator splits a grid's cells into contiguous shards, ships each
-//! shard to a worker process over a checksummed length-prefixed frame
-//! protocol (DESIGN.md §12), and merges the returned [`TrialStats`] back in
-//! job order. Because every trial's seed is a pure function of
+//! A coordinator splits a grid's cells into shards, ships each shard to a
+//! worker process over a checksummed length-prefixed frame protocol
+//! (DESIGN.md §12), and merges the returned [`TrialStats`] back in job
+//! order. Because every trial's seed is a pure function of
 //! `(seed0, bases[cell] + t)` and each worker receives the exact bases its
 //! cells had in the full grid, the merged result is **bit-identical to the
 //! in-process executor for any shard count** — the same guarantee the
@@ -13,10 +13,21 @@
 //! runner, so a worker with a warm [`super::cache`] store skips recompute
 //! but can never recursively re-shard.
 //!
-//! Failure policy: any connection, handshake or protocol error on any shard
-//! aborts the remote attempt and the caller falls back to local compute
-//! (results are bit-identical either way, so fallback is invisible in the
-//! output).
+//! Failure policy (DESIGN.md §14): every socket op runs under a per-attempt
+//! deadline, a failed shard is retried with seeded backoff and re-dispatched
+//! to surviving workers by the work-queue [`dispatch`]er, repeatedly failing
+//! workers are quarantined and re-probed, and a shard that exhausts its
+//! attempts is computed locally — *only* that shard, never the whole run.
+//! `run_sharded` errors only when the pool proved entirely unusable, in
+//! which case the caller's whole-run local fallback takes over. All paths
+//! are bit-identical in output; the seeded [`chaos`] transport exists to
+//! prove it.
+
+pub mod chaos;
+mod dispatch;
+mod transport;
+
+pub use transport::{Deadline, MAX_FRAME};
 
 use crate::link::LinkConfig;
 use crate::sweep::cache::code_salt;
@@ -24,10 +35,11 @@ use crate::sweep::codec::{self, Cursor, Writer, TRIAL_STATS_LEN};
 use crate::sweep::{run_grid_indexed_local, Executor, TrialStats};
 use backfi_obs::trace;
 use backfi_obs::{RawProbe, RawSpanHist};
-use std::io::{self, Read, Write as _};
+use chaos::ChaosCtx;
+use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::Duration;
 
 /// Wire protocol version; carried in the HELLO frame and bumped with any
 /// frame-layout change. v2 added the process nonce to HELLO, the telemetry
@@ -48,6 +60,11 @@ pub const FLAG_TELEMETRY: u64 = 1;
 /// JOB flag: the coordinator's tracer is on — ship the job's trace events.
 pub const FLAG_TRACE: u64 = 2;
 
+/// Decode-side sanity cap on wire-supplied element counts: used only to
+/// bound `Vec::with_capacity` pre-allocation, never to reject — decode of a
+/// count beyond the actual body still fails cleanly in the codec.
+const MAX_PREALLOC: usize = 4096;
+
 /// A nonce identifying this *process* (not this build): lets a coordinator
 /// detect a loopback worker running in its own process, where the obs
 /// registry is shared and telemetry must not be absorbed twice. Never part
@@ -66,14 +83,28 @@ fn process_nonce() -> u64 {
     })
 }
 
-/// Why a sharded run could not complete (the caller falls back to local).
+/// Why a shard attempt (or a whole sharded run) failed.
 #[derive(Debug)]
 pub enum ServiceError {
-    /// Socket-level failure (connect, read, write, timeout).
+    /// Socket-level failure (connect, read, write reset).
     Io(io::Error),
     /// The peer spoke, but not our dialect: bad magic/checksum/kind, or a
     /// version/salt mismatch in the handshake.
     Protocol(String),
+    /// A deadline expired: connect, HELLO, or the per-shard budget.
+    Timeout(String),
+}
+
+impl ServiceError {
+    /// Whether this failure was a deadline expiry (directly, or a socket
+    /// timeout surfacing through the I/O layer).
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            ServiceError::Timeout(_) => true,
+            ServiceError::Io(e) => transport::io_is_timeout(e),
+            ServiceError::Protocol(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -81,6 +112,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Io(e) => write!(f, "io: {e}"),
             ServiceError::Protocol(m) => write!(f, "protocol: {m}"),
+            ServiceError::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }
@@ -91,54 +123,76 @@ impl From<io::Error> for ServiceError {
     }
 }
 
+// ---------------------------------------------------------------- config ---
+
+/// Deadlines and retry policy for the coordinator side of the service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Budget for one complete shard attempt (connect + HELLO + JOB +
+    /// RESULT). `--sweep-timeout` / `BACKFI_SWEEP_TIMEOUT_MS`.
+    pub shard_deadline: Duration,
+    /// Cap on one TCP connect within the attempt.
+    pub connect_timeout: Duration,
+    /// Cap on waiting for the HELLO frame after connecting.
+    pub hello_timeout: Duration,
+    /// Attempts per shard before it falls back to local compute.
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt (see `dispatch`).
+    pub backoff_base: Duration,
+    /// Ceiling on any retry backoff.
+    pub backoff_cap: Duration,
+    /// Consecutive failures before a worker is quarantined.
+    pub failure_budget: u32,
+    /// How often a quarantined worker is re-probed.
+    pub reprobe: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shard_deadline: Duration::from_secs(600),
+            connect_timeout: Duration::from_secs(5),
+            hello_timeout: Duration::from_secs(10),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            failure_budget: 3,
+            reprobe: Duration::from_millis(500),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults, with the shard deadline overridden by
+    /// `BACKFI_SWEEP_TIMEOUT_MS` when set (malformed values are ignored —
+    /// a typo must not change deadline semantics silently mid-fleet, so the
+    /// figure binaries validate the flag form and exit loudly instead).
+    pub fn from_env() -> Self {
+        let cfg = ServiceConfig::default();
+        match std::env::var("BACKFI_SWEEP_TIMEOUT_MS") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(ms) => cfg.with_deadline_ms(ms),
+                Err(_) => cfg,
+            },
+            Err(_) => cfg,
+        }
+    }
+
+    /// Set the per-shard deadline to `ms` milliseconds (floor 1 ms), pulling
+    /// the connect and HELLO caps down under it so no single op can eat the
+    /// whole budget.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        let d = Duration::from_millis(ms.max(1));
+        self.shard_deadline = d;
+        self.connect_timeout = self.connect_timeout.min(d);
+        self.hello_timeout = self.hello_timeout.min(d);
+        self
+    }
+}
+
 // ---------------------------------------------------------------- frames ---
-
-/// Write one frame: `magic u64 | body_len u64 | body | fnv1a64(header+body)`.
-fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
-    let mut w = Writer::with_capacity(24 + body.len());
-    w.u64(FRAME_MAGIC);
-    w.u64(body.len() as u64);
-    let mut bytes = w.into_bytes();
-    bytes.extend_from_slice(body);
-    let sum = codec::fnv1a64(&bytes);
-    bytes.extend_from_slice(&sum.to_le_bytes());
-    stream.write_all(&bytes)
-}
-
-/// Largest body a peer may send: a full-budget grid job is well under this.
-const MAX_FRAME: u64 = 256 * 1024 * 1024;
-
-/// Read one frame's body. `Ok(None)` on clean EOF at a frame boundary.
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServiceError> {
-    let mut head = [0u8; 16];
-    match stream.read_exact(&mut head) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
-    }
-    let magic = u64::from_le_bytes(head[..8].try_into().unwrap());
-    let len = u64::from_le_bytes(head[8..].try_into().unwrap());
-    if magic != FRAME_MAGIC {
-        return Err(ServiceError::Protocol(format!(
-            "bad frame magic {magic:#x}"
-        )));
-    }
-    if len > MAX_FRAME {
-        return Err(ServiceError::Protocol(format!(
-            "oversized frame ({len} bytes)"
-        )));
-    }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
-    let mut sum = [0u8; 8];
-    stream.read_exact(&mut sum)?;
-    let mut whole = head.to_vec();
-    whole.extend_from_slice(&body);
-    if codec::fnv1a64(&whole) != u64::from_le_bytes(sum) {
-        return Err(ServiceError::Protocol("frame checksum mismatch".into()));
-    }
-    Ok(Some(body))
-}
+// Frame I/O lives in `transport` (deadline-aware, chaos-injectable); the
+// message bodies below are pure codec.
 
 // -------------------------------------------------------------- messages ---
 
@@ -257,19 +311,21 @@ fn decode_telemetry(c: &mut Cursor) -> Result<ShardTelemetry, ServiceError> {
     let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
     let mut t = ShardTelemetry::default();
     let n = c.u64().map_err(p)? as usize;
+    t.counters.reserve(n.min(MAX_PREALLOC));
     for _ in 0..n {
         let name = read_str(c)?;
         let v = c.u64().map_err(p)?;
         t.counters.push((name, v));
     }
     let n = c.u64().map_err(p)? as usize;
+    t.spans.reserve(n.min(MAX_PREALLOC));
     for _ in 0..n {
         let name = read_str(c)?;
         let count = c.u64().map_err(p)?;
         let sum = c.u64().map_err(p)?;
         let max = c.u64().map_err(p)?;
         let nb = c.u64().map_err(p)? as usize;
-        let mut buckets = Vec::with_capacity(nb);
+        let mut buckets = Vec::with_capacity(nb.min(MAX_PREALLOC));
         for _ in 0..nb {
             let i = c.u8().map_err(p)?;
             let cnt = c.u64().map_err(p)?;
@@ -284,6 +340,7 @@ fn decode_telemetry(c: &mut Cursor) -> Result<ShardTelemetry, ServiceError> {
         });
     }
     let n = c.u64().map_err(p)? as usize;
+    t.probes.reserve(n.min(MAX_PREALLOC));
     for _ in 0..n {
         let name = read_str(c)?;
         let count = c.u64().map_err(p)?;
@@ -299,6 +356,7 @@ fn decode_telemetry(c: &mut Cursor) -> Result<ShardTelemetry, ServiceError> {
         });
     }
     let n = c.u64().map_err(p)? as usize;
+    t.events.reserve(n.min(MAX_PREALLOC));
     for _ in 0..n {
         let name = read_str(c)?;
         let tag = c.u8().map_err(p)?;
@@ -376,23 +434,35 @@ pub fn serve(listener: &TcpListener, max_conns: Option<usize>) -> io::Result<()>
 /// [`serve`] announcing an explicit code salt in the handshake. Production
 /// workers use [`code_salt`]; tests use this to exercise coordinator-side
 /// stale-worker rejection.
+///
+/// Neither a failed accept (EMFILE, aborted handshake) nor a failed
+/// connection handler kills the listener loop — a worker must outlive any
+/// one bad peer.
 pub fn serve_with_salt(
     listener: &TcpListener,
     salt: u64,
     max_conns: Option<usize>,
 ) -> io::Result<()> {
-    for (served, conn) in listener.incoming().enumerate() {
-        let mut stream = conn?;
-        // A wedged or hostile peer must not hang the worker forever.
-        let _ = stream.set_nodelay(true);
-        if let Err(e) = handle_conn(&mut stream, salt) {
-            eprintln!("[backfi sweep-worker] connection ended: {e}");
-        }
-        if max_conns.is_some_and(|m| served + 1 >= m) {
-            break;
+    let cfg = ServiceConfig::from_env();
+    let mut served = 0usize;
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if let Err(e) = handle_conn(&mut stream, salt, &cfg) {
+                    eprintln!("[backfi sweep-worker] connection ended: {e}");
+                }
+                served += 1;
+                if max_conns.is_some_and(|m| served >= m) {
+                    return Ok(());
+                }
+            }
+            Err(e) => {
+                eprintln!("[backfi sweep-worker] accept failed: {e}; continuing");
+                std::thread::sleep(Duration::from_millis(10));
+            }
         }
     }
-    Ok(())
 }
 
 /// The worker-side snapshot of the obs registry taken before a job runs;
@@ -484,9 +554,14 @@ fn telemetry_since(base: &ObsBaseline) -> ShardTelemetry {
     }
 }
 
-fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
-    write_frame(stream, &hello_body(salt))?;
-    while let Some(body) = read_frame(stream)? {
+fn handle_conn(stream: &mut TcpStream, salt: u64, cfg: &ServiceConfig) -> Result<(), ServiceError> {
+    // Worker-side reads are bounded by the shard deadline: an idle
+    // persistent connection survives a coordinator's whole dispatch, but a
+    // wedged or vanished coordinator cannot pin this handler forever.
+    let read_cap = Some(cfg.shard_deadline);
+    let no_deadline = Deadline::none();
+    transport::write_frame(stream, &hello_body(salt), &no_deadline, None)?;
+    while let Some(body) = transport::read_frame(stream, &no_deadline, read_cap, None)? {
         let mut c = Cursor::new(&body);
         let kind = c.u8().map_err(|e| ServiceError::Protocol(e.to_string()))?;
         if kind != KIND_JOB {
@@ -499,8 +574,8 @@ fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
         let seed0 = c.u64().map_err(p)?;
         let trials = c.u64().map_err(p)? as usize;
         let n = c.u64().map_err(p)? as usize;
-        let mut cells = Vec::with_capacity(n);
-        let mut bases = Vec::with_capacity(n);
+        let mut cells = Vec::with_capacity(n.min(MAX_PREALLOC));
+        let mut bases = Vec::with_capacity(n.min(MAX_PREALLOC));
         for _ in 0..n {
             bases.push(c.u64().map_err(p)?);
             let len = c.u64().map_err(p)? as usize;
@@ -523,24 +598,35 @@ fn handle_conn(stream: &mut TcpStream, salt: u64) -> Result<(), ServiceError> {
         if flags & FLAG_TRACE != 0 {
             telemetry.events = trace::take_local_events();
         }
-        write_frame(stream, &result_body(&stats, &telemetry))?;
+        transport::write_frame(stream, &result_body(&stats, &telemetry), &no_deadline, None)?;
     }
     Ok(())
 }
 
 // ----------------------------------------------------------- coordinator ---
 
-/// Addresses of the worker fleet a coordinator shards across.
+/// Addresses of the worker fleet a coordinator shards across, plus the
+/// deadline/retry policy the dispatcher applies to them.
 #[derive(Clone, Debug)]
 pub struct WorkerPool {
     addrs: Vec<String>,
+    config: ServiceConfig,
 }
 
 impl WorkerPool {
-    /// A pool from worker `host:port` addresses. Empty pools are valid and
-    /// simply mean "run locally".
+    /// A pool from worker `host:port` addresses, with the policy from
+    /// [`ServiceConfig::from_env`]. Empty pools are valid and simply mean
+    /// "run locally".
     pub fn new(addrs: Vec<String>) -> Self {
-        WorkerPool { addrs }
+        WorkerPool {
+            addrs,
+            config: ServiceConfig::from_env(),
+        }
+    }
+
+    /// A pool with an explicit deadline/retry policy.
+    pub fn with_config(addrs: Vec<String>, config: ServiceConfig) -> Self {
+        WorkerPool { addrs, config }
     }
 
     /// Number of workers.
@@ -552,20 +638,29 @@ impl WorkerPool {
     pub fn is_empty(&self) -> bool {
         self.addrs.is_empty()
     }
+
+    /// The deadline/retry policy this pool dispatches under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
 }
 
-/// One shard conversation: connect, validate HELLO, send the cell slice,
-/// collect its stats and telemetry.
-fn run_shard(
+/// An established, HELLO-validated worker connection. Kept open across
+/// sequential shards; any error poisons it (the dispatcher reconnects).
+pub(crate) struct Conn {
+    stream: TcpStream,
+    peer_nonce: u64,
+}
+
+/// Connect and validate the HELLO within `deadline`.
+fn connect_and_hello_within(
     addr: &str,
-    cells: &[LinkConfig],
-    trials: usize,
-    seed0: u64,
-    bases: &[u64],
-) -> Result<(Vec<TrialStats>, ShardTelemetry), ServiceError> {
-    let mut stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let hello = read_frame(&mut stream)?
+    cfg: &ServiceConfig,
+    deadline: &Deadline,
+    chaos: Option<&ChaosCtx>,
+) -> Result<Conn, ServiceError> {
+    let mut stream = transport::connect(addr, cfg.connect_timeout, deadline, chaos)?;
+    let hello = transport::read_frame(&mut stream, deadline, Some(cfg.hello_timeout), chaos)?
         .ok_or_else(|| ServiceError::Protocol("worker closed before HELLO".into()))?;
     let mut c = Cursor::new(&hello);
     let p = |e: codec::CodecError| ServiceError::Protocol(e.to_string());
@@ -586,10 +681,44 @@ fn run_shard(
         )));
     }
     let peer_nonce = c.u64().map_err(p)?;
+    Ok(Conn { stream, peer_nonce })
+}
+
+/// Connect and validate the HELLO under a standalone budget — the
+/// dispatcher's quarantine re-probe.
+pub(crate) fn connect_and_hello(
+    addr: &str,
+    cfg: &ServiceConfig,
+    chaos: Option<&ChaosCtx>,
+) -> Result<Conn, ServiceError> {
+    let deadline = Deadline::after(cfg.connect_timeout + cfg.hello_timeout);
+    connect_and_hello_within(addr, cfg, &deadline, chaos)
+}
+
+/// One shard attempt on one worker: (re)connect if needed, send the cell
+/// slice, collect stats and telemetry — all within one per-attempt deadline.
+/// On any error the caller must drop the connection (a half-finished frame
+/// exchange cannot be resumed).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attempt_shard(
+    conn: &mut Option<Conn>,
+    addr: &str,
+    cfg: &ServiceConfig,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+    chaos: Option<&ChaosCtx>,
+) -> Result<(Vec<TrialStats>, ShardTelemetry), ServiceError> {
+    let deadline = Deadline::after(cfg.shard_deadline);
+    if conn.is_none() {
+        *conn = Some(connect_and_hello_within(addr, cfg, &deadline, chaos)?);
+    }
+    let c = conn.as_mut().expect("connection established above");
     // A loopback worker inside this very process records straight into our
     // registry and rings — requesting telemetry would double-count it.
     let mut flags = 0u64;
-    if peer_nonce != process_nonce() {
+    if c.peer_nonce != process_nonce() {
         if backfi_obs::enabled() {
             flags |= FLAG_TELEMETRY;
         }
@@ -597,15 +726,19 @@ fn run_shard(
             flags |= FLAG_TRACE;
         }
     }
-    write_frame(&mut stream, &job_body(cells, trials, seed0, bases, flags))?;
-    let res = read_frame(&mut stream)?
+    let job = job_body(cells, trials, seed0, bases, flags);
+    transport::write_frame(&mut c.stream, &job, &deadline, chaos)?;
+    let res = transport::read_frame(&mut c.stream, &deadline, None, chaos)?
         .ok_or_else(|| ServiceError::Protocol("worker closed before RESULT".into()))?;
     parse_result(&res, cells.len())
 }
 
-/// Shard `cells` contiguously across the pool's workers and merge the
-/// results in cell order. Errors on any shard abort the whole attempt —
-/// the caller falls back to local compute, which is bit-identical.
+/// Shard `cells` across the pool's workers through the fault-tolerant
+/// work-queue dispatcher and merge the results in cell order. A shard whose
+/// every attempt failed is computed locally (`sweep.service.shard_fallback`);
+/// the call errors only when the pool proved entirely unusable — no worker
+/// ever completed a shard and all ended quarantined — in which case the
+/// caller's whole-run local fallback takes over. Every path is bit-identical.
 pub fn run_sharded(
     pool: &WorkerPool,
     cells: &[LinkConfig],
@@ -620,60 +753,52 @@ pub fn run_sharded(
     if cells.is_empty() {
         return Ok(Vec::new());
     }
-    // Contiguous shards, at most one per worker, sized ceil(n / workers).
-    let n = cells.len();
-    let shard = n.div_ceil(pool.len());
-    let ranges: Vec<(usize, usize)> = (0..n)
-        .step_by(shard)
-        .map(|lo| (lo, (lo + shard).min(n)))
-        .collect();
-    type ShardOut = Result<(Vec<TrialStats>, ShardTelemetry, u64), ServiceError>;
-    let results: Vec<ShardOut> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .zip(&pool.addrs)
-            .map(|(&(lo, hi), addr)| {
-                scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let t0_ns = trace::now_ns();
-                    let out = run_shard(addr, &cells[lo..hi], trials, seed0, &bases[lo..hi]);
-                    let elapsed = t0.elapsed().as_nanos() as u64;
-                    backfi_obs::record_span_ns("sweep.service.shard", elapsed);
-                    if trace::enabled() {
-                        trace::complete_from("sweep.service.shard", t0, elapsed);
-                    }
-                    out.map(|(stats, telemetry)| (stats, telemetry, t0_ns))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .expect("shard thread propagates errors, never panics")
-            })
-            .collect()
-    });
+    let report = dispatch::run(&pool.addrs, &pool.config, cells, trials, seed0, bases)?;
     // Merge stats in shard (= cell) order, and absorb each shard's telemetry
     // under a stable per-shard process lane: shard `s` → trace pid `s + 1`
     // (the coordinator itself is pid 0). Shard order is fixed by the cell
     // split, so the merged manifest and timeline are deterministic for a
-    // fixed seed and worker count.
-    let mut merged = Vec::with_capacity(n);
-    for (shard_idx, r) in results.into_iter().enumerate() {
-        let (stats, telemetry, t0_ns) = r?;
-        merged.extend(stats);
-        for (name, delta) in &telemetry.counters {
-            backfi_obs::absorb_counter(name, *delta);
-        }
-        for s in &telemetry.spans {
-            backfi_obs::absorb_span_hist(&s.name, s.count, s.sum, s.max, &s.buckets);
-        }
-        for pr in &telemetry.probes {
-            backfi_obs::absorb_probe(&pr.name, pr.count, pr.sum, pr.min, pr.max);
-        }
-        if !telemetry.events.is_empty() {
-            trace::add_remote_events(shard_idx as u32 + 1, t0_ns, telemetry.events);
+    // fixed seed and worker count — regardless of which worker computed
+    // which shard on which attempt.
+    let mut merged = Vec::with_capacity(cells.len());
+    for (shard_idx, (outcome, &(lo, hi))) in
+        report.outcomes.into_iter().zip(&report.ranges).enumerate()
+    {
+        match outcome {
+            dispatch::Outcome::Remote {
+                stats,
+                telemetry,
+                t0_ns,
+            } => {
+                merged.extend(stats);
+                for (name, delta) in &telemetry.counters {
+                    backfi_obs::absorb_counter(name, *delta);
+                }
+                for s in &telemetry.spans {
+                    backfi_obs::absorb_span_hist(&s.name, s.count, s.sum, s.max, &s.buckets);
+                }
+                for pr in &telemetry.probes {
+                    backfi_obs::absorb_probe(&pr.name, pr.count, pr.sum, pr.min, pr.max);
+                }
+                if !telemetry.events.is_empty() {
+                    trace::add_remote_events(shard_idx as u32 + 1, t0_ns, telemetry.events);
+                }
+            }
+            dispatch::Outcome::Failed(why) => {
+                backfi_obs::counter_add("sweep.service.shard_fallback", 1);
+                trace::instant("sweep.service.shard_fallback");
+                eprintln!(
+                    "[backfi sweep] shard {shard_idx} unrecoverable ({why}); \
+                     computing cells {lo}..{hi} locally"
+                );
+                merged.extend(run_grid_indexed_local(
+                    &Executor::new(),
+                    &cells[lo..hi],
+                    trials,
+                    seed0,
+                    &bases[lo..hi],
+                ));
+            }
         }
     }
     Ok(merged)
@@ -687,12 +812,14 @@ static GLOBAL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
 /// the `run_grid*` family. Figure binaries call this from
 /// `--workers a:p,b:p` / `BACKFI_WORKERS`; nothing is installed by default.
 pub fn set_global(pool: Option<WorkerPool>) {
-    *GLOBAL.lock().expect("service global lock poisoned") = pool.map(Arc::new);
+    // The pool is plain config: a panic elsewhere while the lock was held
+    // cannot have corrupted it, so recover rather than poison-cascade.
+    *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()) = pool.map(Arc::new);
 }
 
 /// The installed process-wide worker pool, if any.
 pub fn global() -> Option<Arc<WorkerPool>> {
-    GLOBAL.lock().expect("service global lock poisoned").clone()
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 /// Convenience for the worker binary: bind `addr`, print the bound address
@@ -707,13 +834,59 @@ pub fn worker_main(addr: &str) -> io::Result<()> {
     serve(&listener, None)
 }
 
-/// Parse a `--cache`-style worker list `"host:a,host:b"` into a pool.
-pub fn pool_from_spec(spec: &str) -> WorkerPool {
-    WorkerPool::new(
-        spec.split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .map(String::from)
-            .collect(),
-    )
+/// Parse a `--workers`-style list `"host:a,host:b"` into a pool, rejecting
+/// syntactically invalid and duplicate entries — a silently broken pool
+/// would cost a whole retry/quarantine cycle per bad address on every run.
+pub fn pool_from_spec(spec: &str) -> Result<WorkerPool, String> {
+    let mut addrs: Vec<String> = Vec::new();
+    for token in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (host, port) = token
+            .rsplit_once(':')
+            .ok_or_else(|| format!("worker address {token:?} is not host:port"))?;
+        if host.is_empty() {
+            return Err(format!("worker address {token:?} has an empty host"));
+        }
+        port.parse::<u16>()
+            .map_err(|_| format!("worker address {token:?} has a bad port {port:?}"))?;
+        if addrs.iter().any(|a| a == token) {
+            return Err(format!("duplicate worker address {token:?}"));
+        }
+        addrs.push(token.to_string());
+    }
+    if addrs.is_empty() {
+        return Err("worker spec names no addresses".into());
+    }
+    Ok(WorkerPool::new(addrs))
+}
+
+// --------------------------------------------------------------- testkit ---
+
+/// Raw protocol pieces for integration tests that play *rogue peers* —
+/// servers that die mid-job, truncate frames, or never answer. Not part of
+/// the public API surface.
+#[doc(hidden)]
+pub mod testkit {
+    use super::*;
+    use std::io::Write as _;
+
+    /// A complete wire frame around `body`.
+    pub fn frame_bytes(body: &[u8]) -> Vec<u8> {
+        transport::frame_bytes(body)
+    }
+
+    /// A HELLO body announcing `salt` (and this process's nonce).
+    pub fn hello_body(salt: u64) -> Vec<u8> {
+        super::hello_body(salt)
+    }
+
+    /// Read one frame with no deadline (rogue servers are loopback-fast).
+    pub fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, ServiceError> {
+        transport::read_frame(stream, &Deadline::none(), None, None)
+    }
+
+    /// Write raw bytes — deliberately *not* a well-formed frame helper, so
+    /// tests can send partial or corrupt data.
+    pub fn write_raw(stream: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+        stream.write_all(bytes)
+    }
 }

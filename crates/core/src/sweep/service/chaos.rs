@@ -1,0 +1,406 @@
+//! Deterministic chaos transport — seeded fault injection between the
+//! sweep-service codec and the socket.
+//!
+//! Four failure modes cover every way a worker conversation can go wrong on
+//! the wire (`--chaos <spec>` / `BACKFI_CHAOS=<spec>`):
+//!
+//! * **drop** — the connection dies: connects are refused, reads and writes
+//!   hit a reset socket,
+//! * **stall** — a read hangs past its deadline (surfaced as a timeout after
+//!   a short deterministic sleep, so chaos runs stay fast),
+//! * **truncate** — an outbound frame is cut mid-body and the connection
+//!   closed, so the peer sees a short read,
+//! * **bitflip** — one bit of an outbound frame is flipped, so the peer's
+//!   frame checksum rejects it.
+//!
+//! Like `backfi-chan::impair`, every decision is drawn from a per-mode
+//! [`SplitMix64`] sub-stream — here keyed by *(chaos seed, shard index,
+//! attempt, transport op)* — so a given spec injects the same faults at the
+//! same protocol steps on every run, and enabling one mode never shifts
+//! another mode's draws. The recovery machinery (retry, re-dispatch,
+//! per-shard fallback) keeps the merged [`TrialStats`](crate::sweep::TrialStats)
+//! bit-identical to the plain run no matter what this layer does; chaos only
+//! decides *which* recovery paths get exercised.
+//!
+//! The layer is off unless a spec is installed; default runs never consult
+//! it.
+
+use backfi_dsp::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Salt separating chaos streams from the sweep's job-seed streams and the
+/// impair layer's sub-streams.
+const CHAOS_SALT: u64 = 0x5EED_FA11_C4A0_5BAD;
+
+/// Salt for the quarantine re-probe stream (probes have no shard index).
+const PROBE_SALT: u64 = 0x9B0B_E5A1_7000_0000;
+
+/// One injectable wire fault (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Connection drops: refused connects, reset reads/writes.
+    Drop,
+    /// A read stalls past its deadline.
+    Stall,
+    /// An outbound frame is truncated mid-body.
+    Truncate,
+    /// One bit of an outbound frame is flipped.
+    BitFlip,
+}
+
+impl ChaosMode {
+    /// Every mode, in canonical order (the chaos matrix iterates this).
+    pub const ALL: [ChaosMode; 4] = [
+        ChaosMode::Drop,
+        ChaosMode::Stall,
+        ChaosMode::Truncate,
+        ChaosMode::BitFlip,
+    ];
+
+    /// Stable short name (CLI/env spec token and report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosMode::Drop => "drop",
+            ChaosMode::Stall => "stall",
+            ChaosMode::Truncate => "truncate",
+            ChaosMode::BitFlip => "bitflip",
+        }
+    }
+
+    /// Obs counter bumped each time this mode fires.
+    pub(crate) fn counter(self) -> &'static str {
+        match self {
+            ChaosMode::Drop => "sweep.chaos.drop",
+            ChaosMode::Stall => "sweep.chaos.stall",
+            ChaosMode::Truncate => "sweep.chaos.truncate",
+            ChaosMode::BitFlip => "sweep.chaos.bitflip",
+        }
+    }
+
+    /// Index of this mode's dedicated random sub-stream.
+    fn stream(self) -> u64 {
+        ChaosMode::ALL.iter().position(|&m| m == self).unwrap() as u64
+    }
+}
+
+/// Chaos configuration — every probability at `0.0` disables its mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Per-op probability a connection drops.
+    pub drop: f64,
+    /// Per-read probability of a stall.
+    pub stall: f64,
+    /// Per-write probability the frame is truncated.
+    pub truncate: f64,
+    /// Per-write probability one frame bit is flipped.
+    pub bitflip: f64,
+    /// How long an injected stall sleeps before surfacing as a timeout, ms.
+    pub stall_ms: u64,
+    /// Root seed of every chaos stream.
+    pub seed: u64,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec::off()
+    }
+}
+
+impl ChaosSpec {
+    /// Everything disabled.
+    pub fn off() -> Self {
+        ChaosSpec {
+            drop: 0.0,
+            stall: 0.0,
+            truncate: 0.0,
+            bitflip: 0.0,
+            stall_ms: 30,
+            seed: 0xBACC_F1DE,
+        }
+    }
+
+    /// `true` when no mode can ever fire.
+    pub fn is_off(&self) -> bool {
+        self.drop == 0.0 && self.stall == 0.0 && self.truncate == 0.0 && self.bitflip == 0.0
+    }
+
+    /// The configured probability of one mode.
+    pub fn prob(&self, mode: ChaosMode) -> f64 {
+        match mode {
+            ChaosMode::Drop => self.drop,
+            ChaosMode::Stall => self.stall,
+            ChaosMode::Truncate => self.truncate,
+            ChaosMode::BitFlip => self.bitflip,
+        }
+    }
+
+    /// One mode at probability `p` (clamped to `[0, 1]`), everything else off.
+    pub fn single(mode: ChaosMode, p: f64) -> Self {
+        let mut spec = ChaosSpec::off();
+        let p = p.clamp(0.0, 1.0);
+        match mode {
+            ChaosMode::Drop => spec.drop = p,
+            ChaosMode::Stall => spec.stall = p,
+            ChaosMode::Truncate => spec.truncate = p,
+            ChaosMode::BitFlip => spec.bitflip = p,
+        }
+        spec
+    }
+
+    /// Every mode at probability `p`.
+    pub fn all(p: f64) -> Self {
+        let p = p.clamp(0.0, 1.0);
+        ChaosSpec {
+            drop: p,
+            stall: p,
+            truncate: p,
+            bitflip: p,
+            ..ChaosSpec::off()
+        }
+    }
+
+    /// Parse a chaos spec: comma-separated `mode[:prob]` tokens plus the
+    /// specials `all[:prob]`, `off`, `seed:<u64>` and `stall-ms:<u64>`.
+    /// A bare mode name means probability 0.25. Examples: `drop:0.3`,
+    /// `all:0.25,seed:7`, `stall:0.5,stall-ms:10`, `off`.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        let mut out = ChaosSpec::off();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (name, val) = match token.split_once(':') {
+                Some((n, v)) => (n.trim(), Some(v.trim())),
+                None => (token, None),
+            };
+            let prob = |v: Option<&str>| -> Result<f64, String> {
+                match v {
+                    None => Ok(0.25),
+                    Some(v) => {
+                        let p: f64 = v
+                            .parse()
+                            .map_err(|_| format!("bad probability {v:?} in {token:?}"))?;
+                        if !(0.0..=1.0).contains(&p) {
+                            return Err(format!("probability {p} out of [0,1] in {token:?}"));
+                        }
+                        Ok(p)
+                    }
+                }
+            };
+            let int = |v: Option<&str>| -> Result<u64, String> {
+                v.ok_or_else(|| format!("{token:?} needs a value"))?
+                    .parse()
+                    .map_err(|_| format!("bad integer in {token:?}"))
+            };
+            match name {
+                "off" => out = ChaosSpec::off(),
+                "all" => {
+                    let p = prob(val)?;
+                    out.drop = p;
+                    out.stall = p;
+                    out.truncate = p;
+                    out.bitflip = p;
+                }
+                "seed" => out.seed = int(val)?,
+                "stall-ms" => out.stall_ms = int(val)?.max(1),
+                _ => {
+                    let mode = ChaosMode::ALL
+                        .iter()
+                        .find(|m| m.name() == name)
+                        .ok_or_else(|| format!("unknown chaos mode {name:?}"))?;
+                    let p = prob(val)?;
+                    match mode {
+                        ChaosMode::Drop => out.drop = p,
+                        ChaosMode::Stall => out.stall = p,
+                        ChaosMode::Truncate => out.truncate = p,
+                        ChaosMode::BitFlip => out.bitflip = p,
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-attempt chaos context: all draws for one shard conversation are a
+/// pure function of *(spec seed, shard index, attempt, op index)*, so a
+/// replayed attempt faults at the same protocol steps.
+pub(crate) struct ChaosCtx {
+    spec: Arc<ChaosSpec>,
+    key: u64,
+    op: AtomicU64,
+}
+
+impl ChaosCtx {
+    /// Context for shard `shard`, attempt `attempt`.
+    pub(crate) fn for_shard(spec: Arc<ChaosSpec>, shard: u64, attempt: u64) -> Self {
+        let key = SplitMix64::derive(SplitMix64::derive(spec.seed ^ CHAOS_SALT, shard), attempt);
+        ChaosCtx {
+            spec,
+            key,
+            op: AtomicU64::new(0),
+        }
+    }
+
+    /// Context for a quarantine re-probe of worker `worker`, probe `seq`.
+    pub(crate) fn for_probe(spec: Arc<ChaosSpec>, worker: u64, seq: u64) -> Self {
+        let key = SplitMix64::derive(SplitMix64::derive(spec.seed ^ PROBE_SALT, worker), seq);
+        ChaosCtx {
+            spec,
+            key,
+            op: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance to the next transport op; returns its index.
+    pub(crate) fn next_op(&self) -> u64 {
+        self.op.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Whether `mode` fires at op `op`. Each mode draws from its own
+    /// sub-stream, so enabling one mode never shifts another's decisions.
+    pub(crate) fn fires(&self, mode: ChaosMode, op: u64) -> bool {
+        let p = self.spec.prob(mode);
+        if p <= 0.0 {
+            return false;
+        }
+        let stream = SplitMix64::derive(self.key, mode.stream());
+        let mut rng = SplitMix64::new(SplitMix64::derive(stream, op));
+        let fired = rng.next_f64() < p;
+        if fired {
+            backfi_obs::counter_add(mode.counter(), 1);
+            backfi_obs::trace::instant(mode.counter());
+        }
+        fired
+    }
+
+    /// Deterministic byte/bit position for a bitflip at op `op`.
+    pub(crate) fn flip_position(&self, op: u64, len: usize) -> (usize, u8) {
+        let stream = SplitMix64::derive(self.key, ChaosMode::BitFlip.stream() ^ 0xF11B);
+        let mut rng = SplitMix64::new(SplitMix64::derive(stream, op));
+        let byte = (rng.next_u64() % len.max(1) as u64) as usize;
+        let bit = (rng.next_u64() % 8) as u8;
+        (byte, bit)
+    }
+
+    /// Deterministic truncation length (at least 1 byte short) at op `op`.
+    pub(crate) fn truncate_len(&self, op: u64, len: usize) -> usize {
+        let stream = SplitMix64::derive(self.key, ChaosMode::Truncate.stream() ^ 0x7275);
+        let mut rng = SplitMix64::new(SplitMix64::derive(stream, op));
+        if len <= 1 {
+            return 0;
+        }
+        (rng.next_u64() % (len as u64 - 1)) as usize
+    }
+
+    /// How long an injected stall sleeps.
+    pub(crate) fn stall_duration(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.spec.stall_ms)
+    }
+}
+
+// ---------------------------------------------------------------- global ---
+
+static GLOBAL: Mutex<Option<Arc<ChaosSpec>>> = Mutex::new(None);
+
+/// Install (or with `None`, remove) the process-wide chaos spec consulted by
+/// the coordinator's transport. Figure binaries call this from
+/// `--chaos <spec>` / `BACKFI_CHAOS`; nothing is installed by default.
+/// An all-off spec installs nothing.
+pub fn set_global(spec: Option<ChaosSpec>) {
+    let spec = spec.filter(|s| !s.is_off());
+    *GLOBAL.lock().unwrap_or_else(|e| e.into_inner()) = spec.map(Arc::new);
+}
+
+/// The installed process-wide chaos spec, if any.
+pub fn global() -> Option<Arc<ChaosSpec>> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_modes_and_bare_default() {
+        let s = ChaosSpec::parse("drop:0.3").unwrap();
+        assert_eq!(s.drop, 0.3);
+        assert!(s.stall == 0.0 && s.truncate == 0.0 && s.bitflip == 0.0);
+        let s = ChaosSpec::parse("stall").unwrap();
+        assert_eq!(s.stall, 0.25);
+        let s = ChaosSpec::parse("truncate:1,bitflip:0.5").unwrap();
+        assert_eq!((s.truncate, s.bitflip), (1.0, 0.5));
+    }
+
+    #[test]
+    fn parse_all_seed_stall_ms_off() {
+        let s = ChaosSpec::parse("all:0.2,seed:99,stall-ms:7").unwrap();
+        assert!(s.drop == 0.2 && s.stall == 0.2 && s.truncate == 0.2 && s.bitflip == 0.2);
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.stall_ms, 7);
+        let s = ChaosSpec::parse("all:0.9,off").unwrap();
+        assert!(s.is_off());
+        assert!(ChaosSpec::parse("").unwrap().is_off());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ChaosSpec::parse("bogus:0.5").is_err());
+        assert!(ChaosSpec::parse("drop:nan?").is_err());
+        assert!(ChaosSpec::parse("drop:1.5").is_err());
+        assert!(ChaosSpec::parse("seed:xyz").is_err());
+        assert!(ChaosSpec::parse("seed").is_err());
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_shard_attempt_op() {
+        let spec = Arc::new(ChaosSpec::all(0.5));
+        let a = ChaosCtx::for_shard(spec.clone(), 3, 1);
+        let b = ChaosCtx::for_shard(spec.clone(), 3, 1);
+        for op in 0..64 {
+            for mode in ChaosMode::ALL {
+                assert_eq!(a.fires(mode, op), b.fires(mode, op));
+            }
+            assert_eq!(a.flip_position(op, 100), b.flip_position(op, 100));
+            assert_eq!(a.truncate_len(op, 100), b.truncate_len(op, 100));
+        }
+        // A different attempt draws a different fault pattern.
+        let c = ChaosCtx::for_shard(spec, 3, 2);
+        let differs = (0..64).any(|op| {
+            ChaosMode::ALL
+                .iter()
+                .any(|&m| a.fires(m, op) != c.fires(m, op))
+        });
+        assert!(differs, "attempt must re-key the chaos streams");
+    }
+
+    #[test]
+    fn mode_probabilities_hold_roughly() {
+        let spec = Arc::new(ChaosSpec::single(ChaosMode::Drop, 0.3));
+        let ctx = ChaosCtx::for_shard(spec, 0, 0);
+        let fired = (0..2000)
+            .filter(|&op| ctx.fires(ChaosMode::Drop, op))
+            .count();
+        assert!((450..750).contains(&fired), "p=0.3 over 2000 ops: {fired}");
+        // Other modes never fire at probability zero.
+        assert!((0..2000).all(|op| !ctx.fires(ChaosMode::Stall, op)));
+    }
+
+    #[test]
+    fn truncate_len_always_shortens() {
+        let spec = Arc::new(ChaosSpec::single(ChaosMode::Truncate, 1.0));
+        let ctx = ChaosCtx::for_shard(spec, 1, 0);
+        for op in 0..128 {
+            let cut = ctx.truncate_len(op, 64);
+            assert!(cut < 64, "truncation must lose at least one byte");
+        }
+    }
+
+    #[test]
+    fn global_install_filters_off_specs() {
+        set_global(Some(ChaosSpec::off()));
+        assert!(global().is_none(), "all-off spec must not install");
+        set_global(Some(ChaosSpec::single(ChaosMode::Stall, 0.1)));
+        assert!(global().is_some());
+        set_global(None);
+        assert!(global().is_none());
+    }
+}

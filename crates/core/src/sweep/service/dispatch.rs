@@ -1,0 +1,450 @@
+//! Work-queue shard dispatcher: retry with seeded backoff, re-dispatch to
+//! surviving workers, quarantine, and per-shard local fallback.
+//!
+//! The static one-shard-per-worker split of the original service made any
+//! single worker failure abort the whole remote attempt. Here the grid is
+//! cut into more shards than workers and every worker thread pulls from a
+//! shared queue, so a slow or dead worker simply contributes less:
+//!
+//! * a failed attempt is **retried** with capped exponential backoff whose
+//!   jitter is a pure function of `(seed0, shard, attempt)` — reruns back
+//!   off identically;
+//! * a retried shard lands on whichever worker is free, which on a multi
+//!   worker pool usually means **re-dispatch** away from the failing one;
+//! * a worker whose *consecutive* failures exceed the failure budget is
+//!   **quarantined** — it stops pulling work and periodically re-probes its
+//!   own address (connect + HELLO) until it recovers;
+//! * a shard that exhausts its attempts is handed back for **per-shard
+//!   local fallback** — the coordinator computes just those cells itself,
+//!   never the whole run.
+//!
+//! Because every trial's seed is a pure function of the grid coordinates
+//! shipped with the cell, all four recovery paths produce bit-identical
+//! [`TrialStats`]; the queue only decides *where* the arithmetic happens.
+//!
+//! Obs counters on every recovery action: `sweep.service.retry`,
+//! `sweep.service.redispatch`, `sweep.service.timeout`,
+//! `sweep.service.quarantine`, `sweep.service.shard_fallback` — plus a
+//! matching trace instant for each, so a chaos run's timeline shows the
+//! recovery machinery at work.
+
+use super::chaos::{self, ChaosCtx, ChaosSpec};
+use super::{Conn, ServiceConfig, ServiceError, ShardTelemetry};
+use crate::link::LinkConfig;
+use crate::sweep::TrialStats;
+use backfi_dsp::rng::SplitMix64;
+use backfi_obs::trace;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Salt decorrelating backoff jitter from job seeds and chaos streams.
+const BACKOFF_SALT: u64 = 0xBAC0_FF5E_ED15_7A7C;
+
+/// Shards per worker the grid is over-split into: finer shards mean a dead
+/// worker forfeits less work and re-dispatch has somewhere to go.
+const OVERSPLIT: usize = 4;
+
+/// Contiguous shard ranges over `n` cells for a `workers`-wide pool.
+pub(super) fn shard_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    let shard = n.div_ceil(workers.max(1) * OVERSPLIT).max(1);
+    (0..n)
+        .step_by(shard)
+        .map(|lo| (lo, (lo + shard).min(n)))
+        .collect()
+}
+
+/// Backoff before retry `attempt` (1-based) of `shard`: capped exponential
+/// with jitter in `[0.5, 1.5)` drawn from a `SplitMix64` sub-stream keyed by
+/// `(seed0, shard, attempt)` — deterministic per rerun, decorrelated across
+/// shards so a burst of failures does not retry in lockstep.
+pub(super) fn backoff_delay(cfg: &ServiceConfig, seed0: u64, shard: u64, attempt: u32) -> Duration {
+    let exp_ms = (cfg.backoff_base.as_millis() as u64)
+        .saturating_mul(1u64 << u64::from(attempt.saturating_sub(1)).min(16));
+    let exp = Duration::from_millis(exp_ms).min(cfg.backoff_cap);
+    let mut rng = SplitMix64::new(SplitMix64::derive(
+        SplitMix64::derive(seed0 ^ BACKOFF_SALT, shard),
+        attempt as u64,
+    ));
+    let jitter = 0.5 + rng.next_f64();
+    exp.mul_f64(jitter).min(cfg.backoff_cap)
+}
+
+/// How one shard ended up.
+pub(super) enum Outcome {
+    /// A worker computed it; telemetry and the attempt's trace epoch ride
+    /// along for deterministic merging.
+    Remote {
+        stats: Vec<TrialStats>,
+        telemetry: ShardTelemetry,
+        t0_ns: u64,
+    },
+    /// Every attempt failed; the coordinator computes these cells locally.
+    Failed(String),
+}
+
+/// A shard waiting in the queue.
+struct Task {
+    shard: usize,
+    attempt: u32,
+    ready_at: Instant,
+    last_worker: Option<usize>,
+}
+
+#[derive(Clone, Default)]
+struct WorkerInfo {
+    quarantined: bool,
+    last_error: Option<String>,
+    /// First/most recent protocol-class error — preferred in the pool
+    /// failure summary, since "stale salt" explains more than the
+    /// "connection refused" that follows it.
+    protocol_error: Option<String>,
+}
+
+struct State {
+    pending: Vec<Task>,
+    results: Vec<Option<Outcome>>,
+    /// Shards not yet resolved (pending, or in flight on some worker).
+    outstanding: usize,
+    live_workers: usize,
+    remote_successes: usize,
+    workers: Vec<WorkerInfo>,
+}
+
+pub(super) struct DispatchReport {
+    pub outcomes: Vec<Outcome>,
+    pub ranges: Vec<(usize, usize)>,
+}
+
+struct Shared<'a> {
+    state: Mutex<State>,
+    cv: Condvar,
+    cfg: &'a ServiceConfig,
+    ranges: Vec<(usize, usize)>,
+    cells: &'a [LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &'a [u64],
+    chaos: Option<Arc<ChaosSpec>>,
+}
+
+enum Pop {
+    Task(Task),
+    Wait(Duration),
+    Done,
+}
+
+fn pop_ready(st: &mut State, now: Instant) -> Pop {
+    if st.outstanding == 0 {
+        return Pop::Done;
+    }
+    // Lowest ready shard first: merge order is fixed by shard index anyway,
+    // but finishing early shards first keeps memory and trace lanes tidy.
+    let mut best: Option<usize> = None;
+    for (i, t) in st.pending.iter().enumerate() {
+        if t.ready_at <= now && best.is_none_or(|b| t.shard < st.pending[b].shard) {
+            best = Some(i);
+        }
+    }
+    if let Some(i) = best {
+        return Pop::Task(st.pending.swap_remove(i));
+    }
+    match st.pending.iter().map(|t| t.ready_at).min() {
+        // Tasks exist but are backing off: wake when the earliest is ready.
+        Some(at) => Pop::Wait(
+            at.saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+        ),
+        // Everything unresolved is in flight on other workers; poll in case
+        // a failure re-queues it for us.
+        None => Pop::Wait(Duration::from_millis(50)),
+    }
+}
+
+/// Fail every queued (not in-flight) shard — called when the last live
+/// worker quarantines itself and nobody is left to serve the queue.
+fn drain_pending(st: &mut State, why: &str) {
+    for t in st.pending.drain(..) {
+        if st.results[t.shard].is_none() {
+            st.results[t.shard] = Some(Outcome::Failed(why.to_string()));
+            st.outstanding -= 1;
+        }
+    }
+}
+
+fn worker_loop(sh: &Shared<'_>, w: usize, addr: &str) {
+    let mut conn: Option<Conn> = None;
+    let mut consecutive = 0u32;
+    let mut probe_seq = 0u64;
+    loop {
+        let quarantined = {
+            let st = lock(&sh.state);
+            if st.outstanding == 0 {
+                return;
+            }
+            st.workers[w].quarantined
+        };
+        if quarantined {
+            std::thread::sleep(sh.cfg.reprobe);
+            if lock(&sh.state).outstanding == 0 {
+                return;
+            }
+            probe_seq += 1;
+            let chaos_ctx = sh
+                .chaos
+                .as_ref()
+                .map(|s| ChaosCtx::for_probe(s.clone(), w as u64, probe_seq));
+            match super::connect_and_hello(addr, sh.cfg, chaos_ctx.as_ref()) {
+                Ok(c) => {
+                    conn = Some(c);
+                    consecutive = 0;
+                    let mut st = lock(&sh.state);
+                    st.workers[w].quarantined = false;
+                    st.live_workers += 1;
+                    sh.cv.notify_all();
+                    trace::instant("sweep.service.requalify");
+                    eprintln!("[backfi sweep] worker {addr} recovered; leaving quarantine");
+                }
+                Err(e) => {
+                    lock(&sh.state).workers[w].record(&e, addr);
+                }
+            }
+            continue;
+        }
+        let task = {
+            let mut st = lock(&sh.state);
+            loop {
+                match pop_ready(&mut st, Instant::now()) {
+                    Pop::Done => return,
+                    Pop::Task(t) => break t,
+                    Pop::Wait(d) => {
+                        st = match sh.cv.wait_timeout(st, d) {
+                            Ok((g, _)) => g,
+                            Err(e) => e.into_inner().0,
+                        };
+                    }
+                }
+            }
+        };
+        if task.attempt > 0 && task.last_worker.is_some_and(|lw| lw != w) {
+            backfi_obs::counter_add("sweep.service.redispatch", 1);
+            trace::instant("sweep.service.redispatch");
+        }
+        let (lo, hi) = sh.ranges[task.shard];
+        let chaos_ctx = sh
+            .chaos
+            .as_ref()
+            .map(|s| ChaosCtx::for_shard(s.clone(), task.shard as u64, task.attempt as u64));
+        let t0 = Instant::now();
+        let t0_ns = trace::now_ns();
+        let res = super::attempt_shard(
+            &mut conn,
+            addr,
+            sh.cfg,
+            &sh.cells[lo..hi],
+            sh.trials,
+            sh.seed0,
+            &sh.bases[lo..hi],
+            chaos_ctx.as_ref(),
+        );
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        backfi_obs::record_span_ns("sweep.service.shard", elapsed);
+        if trace::enabled() {
+            trace::complete_from("sweep.service.shard", t0, elapsed);
+        }
+        match res {
+            Ok((stats, telemetry)) => {
+                consecutive = 0;
+                let mut st = lock(&sh.state);
+                st.results[task.shard] = Some(Outcome::Remote {
+                    stats,
+                    telemetry,
+                    t0_ns,
+                });
+                st.outstanding -= 1;
+                st.remote_successes += 1;
+                sh.cv.notify_all();
+            }
+            Err(e) => {
+                // Any error poisons the connection: a late RESULT arriving on
+                // a reused stream would desynchronize the frame protocol.
+                conn = None;
+                if e.is_timeout() {
+                    backfi_obs::counter_add("sweep.service.timeout", 1);
+                    trace::instant("sweep.service.timeout");
+                }
+                consecutive += 1;
+                let msg = format!("{addr}: {e}");
+                let quarantine_now = consecutive >= sh.cfg.failure_budget;
+                let mut st = lock(&sh.state);
+                st.workers[w].record(&e, addr);
+                if task.attempt + 1 >= sh.cfg.max_attempts {
+                    eprintln!(
+                        "[backfi sweep] shard {} failed attempt {}/{} ({msg}); giving up",
+                        task.shard,
+                        task.attempt + 1,
+                        sh.cfg.max_attempts
+                    );
+                    st.results[task.shard] = Some(Outcome::Failed(msg));
+                    st.outstanding -= 1;
+                } else {
+                    let delay =
+                        backoff_delay(sh.cfg, sh.seed0, task.shard as u64, task.attempt + 1);
+                    backfi_obs::counter_add("sweep.service.retry", 1);
+                    trace::instant("sweep.service.retry");
+                    eprintln!(
+                        "[backfi sweep] shard {} failed attempt {}/{} ({msg}); retrying in {:.0} ms",
+                        task.shard,
+                        task.attempt + 1,
+                        sh.cfg.max_attempts,
+                        delay.as_secs_f64() * 1e3
+                    );
+                    st.pending.push(Task {
+                        shard: task.shard,
+                        attempt: task.attempt + 1,
+                        ready_at: Instant::now() + delay,
+                        last_worker: Some(w),
+                    });
+                }
+                if quarantine_now && !st.workers[w].quarantined {
+                    st.workers[w].quarantined = true;
+                    st.live_workers -= 1;
+                    backfi_obs::counter_add("sweep.service.quarantine", 1);
+                    trace::instant("sweep.service.quarantine");
+                    eprintln!(
+                        "[backfi sweep] quarantining worker {addr} after {consecutive} consecutive failures"
+                    );
+                    if st.live_workers == 0 {
+                        drain_pending(&mut st, "all workers quarantined");
+                    }
+                }
+                sh.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl WorkerInfo {
+    fn record(&mut self, e: &ServiceError, addr: &str) {
+        let msg = format!("{addr}: {e}");
+        if matches!(e, ServiceError::Protocol(_)) {
+            self.protocol_error = Some(msg.clone());
+        }
+        self.last_error = Some(msg);
+    }
+}
+
+fn lock<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run the whole dispatch: shard the grid, fan worker threads over the
+/// queue, and return per-shard outcomes in shard order. Errors only when the
+/// pool proved entirely unusable — no worker ever completed a shard and all
+/// of them ended quarantined — in which case the caller's whole-run local
+/// fallback (bit-identical by construction) takes over.
+pub(super) fn run(
+    addrs: &[String],
+    cfg: &ServiceConfig,
+    cells: &[LinkConfig],
+    trials: usize,
+    seed0: u64,
+    bases: &[u64],
+) -> Result<DispatchReport, ServiceError> {
+    let ranges = shard_ranges(cells.len(), addrs.len());
+    let now = Instant::now();
+    let state = State {
+        pending: (0..ranges.len())
+            .map(|shard| Task {
+                shard,
+                attempt: 0,
+                ready_at: now,
+                last_worker: None,
+            })
+            .collect(),
+        results: (0..ranges.len()).map(|_| None).collect(),
+        outstanding: ranges.len(),
+        live_workers: addrs.len(),
+        remote_successes: 0,
+        workers: vec![WorkerInfo::default(); addrs.len()],
+    };
+    let shared = Shared {
+        state: Mutex::new(state),
+        cv: Condvar::new(),
+        cfg,
+        ranges,
+        cells,
+        trials,
+        seed0,
+        bases,
+        chaos: chaos::global(),
+    };
+    std::thread::scope(|scope| {
+        for (w, addr) in addrs.iter().enumerate() {
+            let sh = &shared;
+            scope.spawn(move || worker_loop(sh, w, addr));
+        }
+    });
+    let st = shared.state.into_inner().unwrap_or_else(|e| e.into_inner());
+    if st.remote_successes == 0 && st.workers.iter().all(|wk| wk.quarantined) {
+        let summary: Vec<String> = st
+            .workers
+            .iter()
+            .map(|wk| {
+                wk.protocol_error
+                    .clone()
+                    .or_else(|| wk.last_error.clone())
+                    .unwrap_or_else(|| "no attempt recorded".into())
+            })
+            .collect();
+        return Err(ServiceError::Protocol(format!(
+            "no usable worker in pool: {}",
+            summary.join("; ")
+        )));
+    }
+    Ok(DispatchReport {
+        outcomes: st
+            .results
+            .into_iter()
+            .map(|r| r.expect("dispatch resolves every shard"))
+            .collect(),
+        ranges: shared.ranges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        for (n, workers) in [(1usize, 1usize), (4, 2), (7, 3), (100, 4), (3, 8)] {
+            let ranges = shard_ranges(n, workers);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must tile {n}/{workers}");
+            }
+            assert!(ranges.len() <= workers * OVERSPLIT + 1);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let cfg = ServiceConfig::default();
+        let a = backoff_delay(&cfg, 7, 3, 1);
+        let b = backoff_delay(&cfg, 7, 3, 1);
+        assert_eq!(a, b, "same (seed0, shard, attempt) ⇒ same delay");
+        assert_ne!(
+            backoff_delay(&cfg, 7, 3, 1),
+            backoff_delay(&cfg, 7, 4, 1),
+            "shards must not retry in lockstep"
+        );
+        // Attempt 1 sits in [0.5, 1.5) × base.
+        assert!(a >= cfg.backoff_base.mul_f64(0.5));
+        assert!(a < cfg.backoff_base.mul_f64(1.5));
+        // High attempts saturate at the cap.
+        for attempt in [8u32, 20, 60] {
+            assert!(backoff_delay(&cfg, 7, 0, attempt) <= cfg.backoff_cap);
+        }
+    }
+}

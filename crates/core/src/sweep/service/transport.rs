@@ -1,0 +1,255 @@
+//! Deadline-aware frame transport for the sweep service.
+//!
+//! Everything that touches a socket lives here: the checksummed
+//! length-prefixed frame layout (DESIGN.md §12), connect/read/write with
+//! per-op timeouts derived from a per-attempt [`Deadline`], and the
+//! coordinator-side [chaos](super::chaos) injection points sitting between
+//! the codec and the socket. No failure mode — refused connect, stalled
+//! peer, truncated frame, wedged write — can hold a caller past its
+//! deadline.
+
+use super::chaos::{ChaosCtx, ChaosMode};
+use super::ServiceError;
+use crate::sweep::codec;
+use std::io::{self, Read, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Largest body a peer may send. A full-budget grid job is a few hundred
+/// kilobytes and a RESULT frame with telemetry a few megabytes; a length
+/// field beyond this is a corrupt or hostile peer, and is rejected *before*
+/// any buffer is sized from it.
+pub const MAX_FRAME: u64 = 64 * 1024 * 1024;
+
+/// An absolute per-attempt time budget. `None` = unbounded (worker side).
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// No deadline (the worker side, which bounds reads with a flat
+    /// per-op timeout instead).
+    pub fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Time left, or a timeout error when the budget is spent. `cap`
+    /// additionally bounds one op (e.g. a connect or HELLO read that should
+    /// fail much faster than the whole shard budget).
+    fn remaining(
+        &self,
+        cap: Option<Duration>,
+        what: &str,
+    ) -> Result<Option<Duration>, ServiceError> {
+        let left = match self.at {
+            Some(at) => {
+                let left = at.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(ServiceError::Timeout(format!(
+                        "{what}: shard deadline exceeded"
+                    )));
+                }
+                Some(left)
+            }
+            None => None,
+        };
+        Ok(match (left, cap) {
+            (Some(l), Some(c)) => Some(l.min(c)),
+            (Some(l), None) => Some(l),
+            (None, c) => c,
+        })
+    }
+}
+
+/// Whether an I/O error is a socket timeout (platforms disagree on the kind).
+pub(super) fn io_is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+fn classify(e: io::Error, what: &str) -> ServiceError {
+    if io_is_timeout(&e) {
+        ServiceError::Timeout(format!("{what}: {e}"))
+    } else {
+        ServiceError::Io(e)
+    }
+}
+
+/// Connect to `addr` within `connect_cap` and the attempt deadline.
+pub(super) fn connect(
+    addr: &str,
+    connect_cap: Duration,
+    deadline: &Deadline,
+    chaos: Option<&ChaosCtx>,
+) -> Result<TcpStream, ServiceError> {
+    if let Some(c) = chaos {
+        let op = c.next_op();
+        if c.fires(ChaosMode::Drop, op) {
+            return Err(ServiceError::Io(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "chaos: connection dropped before connect",
+            )));
+        }
+    }
+    let budget = deadline
+        .remaining(Some(connect_cap), "connect")?
+        .expect("connect always has a cap");
+    let mut last: Option<io::Error> = None;
+    let addrs = addr.to_socket_addrs().map_err(|e| {
+        ServiceError::Protocol(format!("unresolvable worker address {addr:?}: {e}"))
+    })?;
+    for sa in addrs {
+        match TcpStream::connect_timeout(&sa, budget) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(classify(
+        last.unwrap_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no addresses resolved")),
+        "connect",
+    ))
+}
+
+/// One frame on the wire: `magic u64 | body_len u64 | body | fnv1a64(all)`.
+pub(super) fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut w = codec::Writer::with_capacity(24 + body.len());
+    w.u64(super::FRAME_MAGIC);
+    w.u64(body.len() as u64);
+    let mut bytes = w.into_bytes();
+    bytes.extend_from_slice(body);
+    let sum = codec::fnv1a64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    bytes
+}
+
+/// Write one frame within the deadline, with chaos between codec and socket.
+pub(super) fn write_frame(
+    stream: &mut TcpStream,
+    body: &[u8],
+    deadline: &Deadline,
+    chaos: Option<&ChaosCtx>,
+) -> Result<(), ServiceError> {
+    let mut bytes = frame_bytes(body);
+    if let Some(c) = chaos {
+        let op = c.next_op();
+        if c.fires(ChaosMode::Drop, op) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(ServiceError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection dropped before write",
+            )));
+        }
+        if c.fires(ChaosMode::Truncate, op) {
+            let cut = c.truncate_len(op, bytes.len());
+            stream
+                .set_write_timeout(deadline.remaining(None, "write")?)
+                .map_err(ServiceError::Io)?;
+            let _ = stream.write_all(&bytes[..cut]);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(ServiceError::Io(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("chaos: frame truncated at {cut}/{} bytes", bytes.len()),
+            )));
+        }
+        if c.fires(ChaosMode::BitFlip, op) {
+            let (byte, bit) = c.flip_position(op, bytes.len());
+            bytes[byte] ^= 1 << bit;
+            // Written in full: the peer's checksum rejects it and the
+            // conversation dies there — exactly the corruption path a flaky
+            // NIC or middlebox produces.
+        }
+    }
+    stream
+        .set_write_timeout(deadline.remaining(None, "write")?)
+        .map_err(ServiceError::Io)?;
+    stream.write_all(&bytes).map_err(|e| classify(e, "write"))
+}
+
+/// Read one frame's body within the deadline. `Ok(None)` on clean EOF at a
+/// frame boundary. `cap` bounds each socket read on top of the deadline
+/// (e.g. a HELLO that should arrive promptly).
+pub(super) fn read_frame(
+    stream: &mut TcpStream,
+    deadline: &Deadline,
+    cap: Option<Duration>,
+    chaos: Option<&ChaosCtx>,
+) -> Result<Option<Vec<u8>>, ServiceError> {
+    if let Some(c) = chaos {
+        let op = c.next_op();
+        if c.fires(ChaosMode::Drop, op) {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(ServiceError::Io(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: connection dropped before read",
+            )));
+        }
+        if c.fires(ChaosMode::Stall, op) {
+            // A real stall would block until the socket timeout below fires;
+            // sleep a short deterministic slice of it so chaos runs stay
+            // fast, then surface the same timeout the socket would have.
+            let budget = deadline.remaining(cap, "read")?.unwrap_or(Duration::MAX);
+            std::thread::sleep(c.stall_duration().min(budget));
+            return Err(ServiceError::Timeout("chaos: read stalled".into()));
+        }
+    }
+    fn arm(
+        stream: &TcpStream,
+        deadline: &Deadline,
+        cap: Option<Duration>,
+        what: &str,
+    ) -> Result<(), ServiceError> {
+        stream
+            .set_read_timeout(deadline.remaining(cap, what)?)
+            .map_err(ServiceError::Io)
+    }
+    arm(stream, deadline, cap, "read header")?;
+    let mut head = [0u8; 16];
+    match stream.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(classify(e, "read header")),
+    }
+    let magic = u64::from_le_bytes(head[..8].try_into().unwrap());
+    let len = u64::from_le_bytes(head[8..].try_into().unwrap());
+    if magic != super::FRAME_MAGIC {
+        return Err(ServiceError::Protocol(format!(
+            "bad frame magic {magic:#x}"
+        )));
+    }
+    // The length field comes straight off the wire: reject anything beyond
+    // the frame cap *before* sizing a buffer from it.
+    if len > MAX_FRAME {
+        return Err(ServiceError::Protocol(format!(
+            "oversized frame ({len} bytes > {MAX_FRAME} cap)"
+        )));
+    }
+    let mut body = vec![0u8; len as usize];
+    arm(stream, deadline, cap, "read body")?;
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| classify(e, "read body"))?;
+    let mut sum = [0u8; 8];
+    arm(stream, deadline, cap, "read checksum")?;
+    stream
+        .read_exact(&mut sum)
+        .map_err(|e| classify(e, "read checksum"))?;
+    let mut whole = head.to_vec();
+    whole.extend_from_slice(&body);
+    if codec::fnv1a64(&whole) != u64::from_le_bytes(sum) {
+        return Err(ServiceError::Protocol("frame checksum mismatch".into()));
+    }
+    Ok(Some(body))
+}

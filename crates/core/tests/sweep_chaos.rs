@@ -1,0 +1,231 @@
+//! Chaos-transport integration: with seeded fault injection active on the
+//! coordinator's wire — dropped connections, stalled reads, truncated and
+//! bit-flipped frames — the sharded sweep must still produce bit-identical
+//! results via retry, re-dispatch, quarantine and per-shard local fallback.
+//! The chaos layer is the proof harness for the failure model in DESIGN.md
+//! §14: every recovery path is exercised reproducibly, and byte-identity is
+//! the correctness oracle.
+
+use backfi_core::sweep::service::chaos::{self, ChaosMode, ChaosSpec};
+use backfi_core::sweep::service::{self, ServiceConfig, WorkerPool};
+use backfi_core::sweep::{grid_cells, run_grid_indexed_on, run_grid_on, Executor, TrialStats};
+use backfi_core::LinkConfig;
+use backfi_tag::config::TagConfig;
+use std::net::TcpListener;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Chaos global, worker-pool global and obs counters are process-wide;
+/// serialize the tests that touch them.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Uninstalls the chaos spec even when an assertion panics mid-test.
+struct ChaosGuard;
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        chaos::set_global(None);
+    }
+}
+
+fn install(spec: ChaosSpec) -> ChaosGuard {
+    chaos::set_global(Some(spec));
+    ChaosGuard
+}
+
+/// A worker serving connections forever — chaos drops force the coordinator
+/// to reconnect many times, so one-shot workers would starve the run.
+fn spawn_worker_forever() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let _ = service::serve(&listener, None);
+    });
+    addr
+}
+
+/// Tight deadlines, fast backoff, and a failure budget high enough that
+/// healthy workers are never quarantined by injected faults — chaos tests
+/// exercise retry/re-dispatch/shard-fallback without pool collapse.
+fn chaos_config() -> ServiceConfig {
+    ServiceConfig {
+        shard_deadline: Duration::from_secs(20),
+        connect_timeout: Duration::from_secs(2),
+        hello_timeout: Duration::from_secs(2),
+        max_attempts: 4,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        failure_budget: 1_000_000,
+        reprobe: Duration::from_millis(20),
+    }
+}
+
+/// 4-cell grid: two distances × two tag configurations.
+fn grid() -> Vec<LinkConfig> {
+    let slow = TagConfig::default();
+    let fast = TagConfig {
+        symbol_rate_hz: 2.5e6,
+        ..TagConfig::default()
+    };
+    let mut cells = Vec::new();
+    for &d in &[1.0, 2.5] {
+        let mut base = LinkConfig::at_distance(d);
+        base.excitation.wifi_payload_bytes = 1200;
+        cells.extend(grid_cells(&base, &[slow, fast]));
+    }
+    cells
+}
+
+fn assert_stats_bits_eq(a: &[TrialStats], b: &[TrialStats], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.success_rate.to_bits(),
+            y.success_rate.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(
+            x.mean_snr_db.to_bits(),
+            y.mean_snr_db.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(x.mean_ber.to_bits(), y.mean_ber.to_bits(), "{what}[{i}]");
+        assert_eq!(
+            x.mean_goodput_bps.to_bits(),
+            y.mean_goodput_bps.to_bits(),
+            "{what}[{i}]"
+        );
+        assert_eq!(x.panics, y.panics, "{what}[{i}]");
+    }
+}
+
+fn recovery_total() -> u64 {
+    ["sweep.service.retry", "sweep.service.shard_fallback"]
+        .iter()
+        .map(|c| backfi_obs::counter_value(c))
+        .sum()
+}
+
+#[test]
+fn every_chaos_mode_recovers_bit_identical() {
+    let _g = serialize();
+    let cells = grid();
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 4242);
+    backfi_obs::enable();
+    for mode in ChaosMode::ALL {
+        let injected = format!("sweep.chaos.{}", mode.name());
+        let inj0 = backfi_obs::counter_value(&injected);
+        let rec0 = recovery_total();
+        let spec = ChaosSpec::parse(&format!("{}:0.5,stall-ms:5", mode.name())).unwrap();
+        let _guard = install(spec);
+        let pool = WorkerPool::with_config(
+            vec![spawn_worker_forever(), spawn_worker_forever()],
+            chaos_config(),
+        );
+        let sharded = service::run_sharded(&pool, &cells, trials, 4242, &bases)
+            .unwrap_or_else(|e| panic!("chaos {} must not fail the run: {e}", mode.name()));
+        assert_stats_bits_eq(&reference, &sharded, mode.name());
+        assert!(
+            backfi_obs::counter_value(&injected) > inj0,
+            "chaos mode {} must actually fire at p=0.5",
+            mode.name()
+        );
+        assert!(
+            recovery_total() > rec0,
+            "an injected {} fault must trigger retry or shard fallback",
+            mode.name()
+        );
+    }
+}
+
+#[test]
+fn all_modes_together_recover_bit_identical() {
+    let _g = serialize();
+    let cells = grid();
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 7);
+    backfi_obs::enable();
+    let rec0 = recovery_total();
+    let _guard = install(ChaosSpec::parse("all:0.25,stall-ms:5").unwrap());
+    let pool = WorkerPool::with_config(
+        vec![spawn_worker_forever(), spawn_worker_forever()],
+        chaos_config(),
+    );
+    let sharded = service::run_sharded(&pool, &cells, trials, 7, &bases)
+        .expect("combined chaos must not fail the run");
+    assert_stats_bits_eq(&reference, &sharded, "all modes at 0.25");
+    assert!(recovery_total() > rec0);
+}
+
+#[test]
+fn chaos_decisions_replay_identically_across_runs() {
+    let _g = serialize();
+    let cells = grid();
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    backfi_obs::enable();
+    // Same spec, same seed, fresh workers: the *results* must match bitwise
+    // both times (the injected fault pattern is a pure function of the spec,
+    // so recovery work may differ in timing but never in output).
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let _guard = install(ChaosSpec::parse("drop:0.3,seed:99").unwrap());
+        let pool = WorkerPool::with_config(
+            vec![spawn_worker_forever(), spawn_worker_forever()],
+            chaos_config(),
+        );
+        outputs.push(
+            service::run_sharded(&pool, &cells, trials, 31, &bases).expect("chaos replay run"),
+        );
+    }
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 31);
+    assert_stats_bits_eq(&outputs[0], &outputs[1], "replay");
+    assert_stats_bits_eq(&reference, &outputs[0], "replay vs plain");
+}
+
+#[test]
+fn dead_worker_under_chaos_is_quarantined_and_survivor_finishes() {
+    let _g = serialize();
+    let cells = grid();
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let quarantine0 = backfi_obs::counter_value("sweep.service.quarantine");
+    let fallback0 = backfi_obs::counter_value("sweep.service.fallback");
+    // Bind-then-drop guarantees a dead port.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    // Real quarantine budget for the dead worker; light chaos on top.
+    let cfg = ServiceConfig {
+        failure_budget: 3,
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(20),
+        reprobe: Duration::from_millis(20),
+        ..chaos_config()
+    };
+    let _guard = install(ChaosSpec::parse("drop:0.15,seed:5").unwrap());
+    let pool = WorkerPool::with_config(vec![dead, spawn_worker_forever()], cfg);
+    service::set_global(Some(pool));
+    let sharded = run_grid_indexed_on(&Executor::new(), &cells, trials, 1000, &bases);
+    service::set_global(None);
+    assert_stats_bits_eq(&reference, &sharded, "dead worker under chaos");
+    assert!(
+        backfi_obs::counter_value("sweep.service.quarantine") > quarantine0,
+        "the dead worker must be quarantined"
+    );
+    assert_eq!(
+        backfi_obs::counter_value("sweep.service.fallback"),
+        fallback0,
+        "a healthy survivor must keep the whole-run fallback at zero"
+    );
+}

@@ -4,12 +4,14 @@
 //! workers built from a different code version.
 
 use backfi_chan::impair::{ImpairmentMode, Impairments};
-use backfi_core::sweep::service::{self, ServiceError, WorkerPool};
+use backfi_core::sweep::cache::code_salt;
+use backfi_core::sweep::service::{self, testkit, ServiceConfig, ServiceError, WorkerPool};
 use backfi_core::sweep::{grid_cells, run_grid_indexed_on, run_grid_on, Executor, TrialStats};
 use backfi_core::LinkConfig;
 use backfi_tag::config::TagConfig;
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// The worker-pool global and obs counters are process-wide; serialize the
 /// tests that touch them.
@@ -28,6 +30,35 @@ fn spawn_worker(conns: usize) -> String {
         let _ = service::serve(&listener, Some(conns));
     });
     addr
+}
+
+/// Spawn a rogue peer: accepts exactly one connection, hands it to `f`,
+/// then drops the listener (so retries see connection-refused). Used to
+/// model workers that die mid-job, truncate frames, or never speak.
+fn spawn_rogue(f: impl FnOnce(&mut TcpStream) + Send + 'static) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        if let Ok((mut stream, _)) = listener.accept() {
+            f(&mut stream);
+        }
+    });
+    addr
+}
+
+/// Aggressive deadlines/backoffs so fault tests converge in milliseconds
+/// instead of the production-scale defaults.
+fn fast_config() -> ServiceConfig {
+    ServiceConfig {
+        shard_deadline: Duration::from_secs(10),
+        connect_timeout: Duration::from_secs(2),
+        hello_timeout: Duration::from_millis(300),
+        max_attempts: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        failure_budget: 3,
+        reprobe: Duration::from_millis(50),
+    }
 }
 
 fn spawn_stale_worker(salt: u64) -> String {
@@ -150,6 +181,163 @@ fn dispatch_falls_back_to_local_when_workers_are_dead() {
     let after = backfi_obs::counter_value("sweep.service.fallback");
     assert!(after > before, "fallback must be counted");
     assert_stats_bits_eq(&reference, &via_dispatch, "dead-pool fallback");
+}
+
+#[test]
+fn worker_killed_mid_job_redispatches_bit_identical() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let retries0 = backfi_obs::counter_value("sweep.service.retry");
+    // A worker that handshakes, accepts a job, then dies without answering.
+    let rogue = spawn_rogue(|s| {
+        let _ = testkit::write_raw(s, &testkit::frame_bytes(&testkit::hello_body(code_salt())));
+        let _ = testkit::read_frame(s); // swallow the JOB, then drop the socket
+    });
+    let pool = WorkerPool::with_config(vec![rogue, spawn_worker(1)], fast_config());
+    let sharded = service::run_sharded(&pool, &cells, trials, 1000, &bases)
+        .expect("survivor must absorb the dead worker's shards");
+    assert_stats_bits_eq(&reference, &sharded, "worker killed mid-job");
+    assert!(
+        backfi_obs::counter_value("sweep.service.retry") > retries0,
+        "the lost shard must have been retried"
+    );
+}
+
+#[test]
+fn truncated_result_frame_recovers_bit_identical() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let retries0 = backfi_obs::counter_value("sweep.service.retry");
+    // A worker that answers with half a RESULT frame: valid header, body
+    // cut short — the coordinator's read must fail cleanly, not hang or
+    // accept garbage.
+    let rogue = spawn_rogue(|s| {
+        let _ = testkit::write_raw(s, &testkit::frame_bytes(&testkit::hello_body(code_salt())));
+        let _ = testkit::read_frame(s);
+        let frame = testkit::frame_bytes(&[3u8; 200]);
+        let _ = testkit::write_raw(s, &frame[..frame.len() / 2]);
+    });
+    let pool = WorkerPool::with_config(vec![rogue, spawn_worker(1)], fast_config());
+    let sharded = service::run_sharded(&pool, &cells, trials, 1000, &bases)
+        .expect("truncated frame must not fail the run");
+    assert_stats_bits_eq(&reference, &sharded, "truncated RESULT");
+    assert!(backfi_obs::counter_value("sweep.service.retry") > retries0);
+}
+
+#[test]
+fn stalled_hello_times_out_and_recovers_bit_identical() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let timeouts0 = backfi_obs::counter_value("sweep.service.timeout");
+    // A worker that accepts and then never says HELLO: only the hello
+    // deadline stands between this and an infinite hang.
+    let rogue = spawn_rogue(|s| {
+        std::thread::sleep(Duration::from_secs(2));
+        let _ = s;
+    });
+    let pool = WorkerPool::with_config(vec![rogue, spawn_worker(1)], fast_config());
+    let sharded = service::run_sharded(&pool, &cells, trials, 1000, &bases)
+        .expect("stalled HELLO must not fail the run");
+    assert_stats_bits_eq(&reference, &sharded, "stalled HELLO");
+    assert!(
+        backfi_obs::counter_value("sweep.service.timeout") > timeouts0,
+        "the stall must surface as a deadline expiry"
+    );
+}
+
+#[test]
+fn stale_salt_worker_in_healthy_pool_is_quarantined_not_fatal() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let quarantine0 = backfi_obs::counter_value("sweep.service.quarantine");
+    let fallback0 = backfi_obs::counter_value("sweep.service.fallback");
+    let pool = WorkerPool::with_config(
+        vec![spawn_stale_worker(0xdeadbeef), spawn_worker(1)],
+        fast_config(),
+    );
+    service::set_global(Some(pool));
+    let sharded = run_grid_indexed_on(&Executor::new(), &cells, trials, 1000, &bases);
+    service::set_global(None);
+    assert_stats_bits_eq(&reference, &sharded, "stale worker in healthy pool");
+    assert!(
+        backfi_obs::counter_value("sweep.service.quarantine") > quarantine0,
+        "the stale worker must be quarantined"
+    );
+    assert_eq!(
+        backfi_obs::counter_value("sweep.service.fallback"),
+        fallback0,
+        "one healthy worker must keep the whole-run fallback at zero"
+    );
+}
+
+#[test]
+fn exhausted_shard_falls_back_locally_not_whole_run() {
+    let _g = serialize();
+    let cells = grid(None);
+    let trials = 2usize;
+    let bases: Vec<u64> = (0..cells.len() as u64).map(|c| c * trials as u64).collect();
+    let reference = run_grid_on(&Executor::new(), &cells, trials, 1000);
+    backfi_obs::enable();
+    let shard_fb0 = backfi_obs::counter_value("sweep.service.shard_fallback");
+    // One attempt only: the first shard the rogue kills is immediately
+    // unrecoverable remotely and must be computed locally — just that shard.
+    let cfg = ServiceConfig {
+        max_attempts: 1,
+        ..fast_config()
+    };
+    let rogue = spawn_rogue(|s| {
+        let _ = testkit::write_raw(s, &testkit::frame_bytes(&testkit::hello_body(code_salt())));
+        let _ = testkit::read_frame(s);
+    });
+    let pool = WorkerPool::with_config(vec![rogue, spawn_worker(1)], cfg);
+    let sharded = service::run_sharded(&pool, &cells, trials, 1000, &bases)
+        .expect("per-shard fallback must keep the run alive");
+    assert_stats_bits_eq(&reference, &sharded, "per-shard local fallback");
+    assert!(
+        backfi_obs::counter_value("sweep.service.shard_fallback") > shard_fb0,
+        "the unrecoverable shard must be computed locally"
+    );
+}
+
+#[test]
+fn pool_from_spec_validates_addresses() {
+    assert!(service::pool_from_spec("127.0.0.1:7070").is_ok());
+    assert_eq!(
+        service::pool_from_spec(" a:1 , b:2 ,c:3 ").map(|p| p.len()),
+        Ok(3)
+    );
+    // IPv6 form keeps host:port splitting on the last colon.
+    assert!(service::pool_from_spec("[::1]:8080").is_ok());
+    for bad in [
+        "",
+        " , ,",
+        "justahost",
+        ":7070",
+        "host:notaport",
+        "host:99999",
+        "a:1,a:1",
+    ] {
+        assert!(
+            service::pool_from_spec(bad).is_err(),
+            "spec {bad:?} must be rejected"
+        );
+    }
 }
 
 #[test]
