@@ -17,6 +17,15 @@
 //!   --counter-threshold <f>  allowed relative counter drift      (default 0, exact)
 //!   --ignore-spans           compare counters only (machine-speed-independent)
 //!   --ignore <prefix>        skip spans/counters/records with this name prefix
+//!   --require-span NAME[:F]  NAME must exist in the current manifest (count
+//!                            > 0) even under --ignore-spans; with :F, its
+//!                            p50/p99 are additionally gated at regression
+//!                            factor F against the baseline. Hot-path spans
+//!                            (wifi.rx.batch, sic.digital.train) are wired
+//!                            through this in CI so a deleted or
+//!                            order-of-magnitude-slower kernel span fails
+//!                            the gate even though the machine-speed-
+//!                            dependent default span diff stays off.
 //!   --json <path>            also write the verdict as JSON
 //! ```
 //!
@@ -37,6 +46,10 @@ struct Opts {
     counter_threshold: f64,
     ignore_spans: bool,
     ignore: Vec<String>,
+    /// Spans that must be present in the current manifest; the factor, when
+    /// given, gates their p50/p99 against the baseline even under
+    /// `--ignore-spans`.
+    require_spans: Vec<(String, Option<f64>)>,
     json_out: Option<String>,
 }
 
@@ -44,7 +57,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: obs_report <baseline.json> <current.json> [--check] \
          [--span-threshold F] [--bench-threshold F] [--counter-threshold F] \
-         [--ignore-spans] [--ignore PREFIX]... [--json PATH]"
+         [--ignore-spans] [--ignore PREFIX]... [--require-span NAME[:F]]... \
+         [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -60,6 +74,7 @@ fn parse_opts() -> Opts {
         counter_threshold: 0.0,
         ignore_spans: false,
         ignore: Vec::new(),
+        require_spans: Vec::new(),
         json_out: None,
     };
     let mut args = std::env::args().skip(1);
@@ -83,6 +98,25 @@ fn parse_opts() -> Opts {
             }
             "--ignore" => match args.next() {
                 Some(p) if !p.is_empty() => opts.ignore.push(p),
+                _ => usage(),
+            },
+            "--require-span" => match args.next() {
+                Some(spec) if !spec.is_empty() => {
+                    let (name, factor) = match spec.split_once(':') {
+                        Some((n, f)) => match f.parse::<f64>() {
+                            Ok(v) if v >= 0.0 && !n.is_empty() => (n.to_string(), Some(v)),
+                            _ => {
+                                eprintln!(
+                                    "error: --require-span factor must be a \
+                                     non-negative number: {spec}"
+                                );
+                                usage();
+                            }
+                        },
+                        None => (spec, None),
+                    };
+                    opts.require_spans.push((name, factor));
+                }
                 _ => usage(),
             },
             "--json" => match args.next() {
@@ -211,6 +245,44 @@ fn compare_manifests(base: &Json, cur: &Json, opts: &Opts) -> Vec<Finding> {
                     delta: f64::INFINITY,
                     regression: false,
                     note: "new span (not in baseline)",
+                });
+            }
+        }
+    }
+    // Required hot-path spans: presence is machine-speed-independent, so it
+    // is enforced even under --ignore-spans; the optional factor bounds
+    // p50/p99 against the baseline loosely enough to survive machine skew
+    // while still catching an order-of-magnitude kernel blow-up.
+    let bspans = by_name(base, "spans");
+    let cspans = by_name(cur, "spans");
+    for (name, factor) in &opts.require_spans {
+        let Some(cs) = cspans.get(name).filter(|s| f(s, "count") > 0.0) else {
+            out.push(Finding {
+                kind: "span",
+                name: name.clone(),
+                baseline: bspans.get(name).map(|s| f(s, "count")).unwrap_or(0.0),
+                current: 0.0,
+                delta: -1.0,
+                regression: true,
+                note: "required span missing from current run",
+            });
+            continue;
+        };
+        let (Some(factor), Some(bs)) = (factor, bspans.get(name)) else {
+            continue;
+        };
+        for key in ["p50_ns", "p99_ns"] {
+            let bv = f(bs, key);
+            let cv = f(cs, key);
+            if bv > 0.0 && cv > bv * (1.0 + factor) {
+                out.push(Finding {
+                    kind: "span",
+                    name: format!("{name}.{key}"),
+                    baseline: bv,
+                    current: cv,
+                    delta: rel(bv, cv),
+                    regression: true,
+                    note: "required span slower than its factor",
                 });
             }
         }

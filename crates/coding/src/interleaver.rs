@@ -74,6 +74,22 @@ impl Interleaver {
         }
         out
     }
+
+    /// Invert the permutation for one symbol, writing into a caller-provided
+    /// slice — the batched receive path deinterleaves each symbol straight
+    /// into its slot of the packet-wide LLR buffer with no per-symbol
+    /// allocation. Every position of `out` is written (the permutation is a
+    /// bijection), so stale contents never leak through.
+    ///
+    /// # Panics
+    /// Panics if `bits.len()` or `out.len()` differs from `block_len()`.
+    pub fn deinterleave_into<T: Copy>(&self, bits: &[T], out: &mut [T]) {
+        assert_eq!(bits.len(), self.ncbps, "deinterleave: wrong block size");
+        assert_eq!(out.len(), self.ncbps, "deinterleave: wrong output size");
+        for (k, &b) in bits.iter().enumerate() {
+            out[self.inv[k]] = b;
+        }
+    }
 }
 
 #[cfg(test)]

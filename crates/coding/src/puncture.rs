@@ -94,6 +94,15 @@ pub fn puncture(coded: &[bool], rate: CodeRate) -> Vec<bool> {
 /// Panics if `punctured` has more bits than the pattern allows for
 /// `mother_len`.
 pub fn depuncture_soft(punctured: &[f64], rate: CodeRate, mother_len: usize) -> Vec<f64> {
+    if rate == CodeRate::Half {
+        // Rate 1/2 transmits every mother bit — depuncturing is a copy.
+        assert!(punctured.len() >= mother_len, "punctured stream too short");
+        assert!(
+            punctured.len() <= mother_len,
+            "punctured stream too long for mother_len"
+        );
+        return punctured.to_vec();
+    }
     let pat = rate.pattern();
     let mut out = Vec::with_capacity(mother_len);
     let mut src = punctured.iter();

@@ -65,6 +65,13 @@ struct BatchedTrellis {
     s0: Vec<f64>,
     /// Sign of `m1` in `v_j` (+1 when branch output bit 1 is 1).
     s1: Vec<f64>,
+    /// `s0` as IEEE sign masks (`-0.0` where `s0[j] < 0`, `+0.0` elsewhere):
+    /// for finite `m`, `s·m` equals `m XOR mask` bitwise (multiplying by
+    /// exactly ±1.0 only flips the sign bit), letting the AVX2 fast path
+    /// trade two multiplies for two 1-cycle XORs per lane group.
+    sm0: Vec<f64>,
+    /// `s1` as IEEE sign masks.
+    sm1: Vec<f64>,
 }
 
 impl BatchedTrellis {
@@ -91,7 +98,13 @@ impl BatchedTrellis {
             s0.push(if a & 1 == 1 { 1.0 } else { -1.0 });
             s1.push(if a & 2 == 2 { 1.0 } else { -1.0 });
         }
-        Some(BatchedTrellis { s0, s1 })
+        let mask = |s: &[f64]| {
+            s.iter()
+                .map(|&v| if v < 0.0 { -0.0 } else { 0.0 })
+                .collect()
+        };
+        let (sm0, sm1) = (mask(&s0), mask(&s1));
+        Some(BatchedTrellis { s0, s1, sm0, sm1 })
     }
 }
 
@@ -280,6 +293,13 @@ impl ViterbiDecoder {
     /// lookups, no data-dependent branches (the direct loop's compare branch
     /// is ~random on real LLRs and its mispredicts dominate decode time).
     ///
+    /// Survivors are stored **bit-packed**: one decision bit per state per
+    /// step (`ns/64` words per step instead of `ns` u32 lanes), because the
+    /// predecessor is recoverable from the state label alone —
+    /// `prev = ((s mod half)·2) | d` and the emitted bit is `s ≥ half`.
+    /// For the K=7 code that shrinks survivor memory 32× (one u64 per step),
+    /// keeping the whole store L1-resident for full-packet decodes.
+    ///
     /// Produces bit-identical decisions to [`Self::run_direct`]:
     /// * `s·m` with `s = ±1.0` equals `±m` bitwise, so `v_j` equals the
     ///   direct loop's branch metric, and `pm − v` ≡ `pm + (−v)` in IEEE;
@@ -289,8 +309,13 @@ impl ViterbiDecoder {
     /// * NaN candidates are sanitized to `−∞`, matching `NaN > x == false`;
     /// * ties keep the even predecessor, matching the direct loop's strict
     ///   `>` update with ascending state order;
-    /// * a state whose winner is `−∞` stores survivor 0, matching the
-    ///   never-written initial value in the direct loop.
+    /// * the direct loop's "survivor 0 for unreachable states" convention is
+    ///   reproduced exactly: a `−∞` winner always stores decision bit 0
+    ///   (`−∞ > −∞` is false), traceback from a finite-metric state never
+    ///   visits a `−∞`-metric one (a finite winner implies a finite
+    ///   predecessor), and the single remaining case — *starting* traceback
+    ///   on a `−∞` state — is handled explicitly in
+    ///   [`traceback_packed`].
     fn run_batched(
         &self,
         b: &BatchedTrellis,
@@ -299,36 +324,25 @@ impl ViterbiDecoder {
         terminated: bool,
     ) -> Vec<bool> {
         let ns = self.trellis.states;
-        let half = ns / 2;
         const NEG: f64 = f64::NEG_INFINITY;
         let mut metric = vec![NEG; ns];
         metric[0] = 0.0; // encoder starts from state 0
         let mut metric_next = vec![NEG; ns];
-        let mut survivor = vec![0u32; steps * ns];
-        let mut v = vec![0.0f64; half];
+        // Packed decision bits: words_per_step words, state s's bit at
+        // word s/64, position s%64.
+        let wps = ns.div_ceil(64);
+        let mut words = vec![0u64; steps * wps];
 
         #[cfg(target_arch = "x86_64")]
-        let avx2 = std::arch::is_x86_feature_detected!("avx2");
+        let avx2 = std::arch::is_x86_feature_detected!("avx2") && ns <= 64;
 
         for t in 0..steps {
             let m0 = soft[2 * t];
             let m1 = soft[2 * t + 1];
-            let surv = &mut survivor[t * ns..(t + 1) * ns];
             #[cfg(target_arch = "x86_64")]
             if avx2 {
                 // SAFETY: AVX2 presence established by runtime detection.
-                unsafe {
-                    acs_step_avx2(
-                        &b.s0,
-                        &b.s1,
-                        m0,
-                        m1,
-                        &metric,
-                        &mut metric_next,
-                        surv,
-                        &mut v,
-                    )
-                };
+                words[t] = unsafe { acs_step_avx2(b, m0, m1, &metric, &mut metric_next) };
                 std::mem::swap(&mut metric, &mut metric_next);
                 continue;
             }
@@ -339,13 +353,12 @@ impl ViterbiDecoder {
                 m1,
                 &metric,
                 &mut metric_next,
-                surv,
-                &mut v,
+                &mut words[t * wps..(t + 1) * wps],
             );
             std::mem::swap(&mut metric, &mut metric_next);
         }
 
-        traceback(&survivor, &metric, ns, steps, terminated)
+        traceback_packed(&words, wps, &metric, ns, steps, terminated)
     }
 }
 
@@ -365,9 +378,9 @@ fn simd_env_disabled() -> bool {
 
 /// One trellis step of the butterfly ACS (see
 /// [`ViterbiDecoder::run_batched`] for the equivalence argument).
-/// `metric_next` and `surv` are fully overwritten.
+/// `metric_next` is fully overwritten; `row` receives the packed decision
+/// bits for this step (state `s`'s bit at word `s/64`, position `s%64`).
 #[inline(always)]
-#[allow(clippy::too_many_arguments)]
 fn acs_step(
     s0: &[f64],
     s1: &[f64],
@@ -375,123 +388,132 @@ fn acs_step(
     m1: f64,
     metric: &[f64],
     metric_next: &mut [f64],
-    surv: &mut [u32],
-    v: &mut [f64],
+    row: &mut [u64],
 ) {
     const NEG: f64 = f64::NEG_INFINITY;
     let half = s0.len();
-    for j in 0..half {
-        v[j] = s0[j] * m0 + s1[j] * m1;
-    }
     let (lo, hi) = metric_next.split_at_mut(half);
-    let (slo, shi) = surv.split_at_mut(half);
+    row.iter_mut().for_each(|w| *w = 0);
     for j in 0..half {
+        let vj = s0[j] * m0 + s1[j] * m1;
         let pm0 = metric[2 * j];
         let pm1 = metric[2 * j + 1];
-        let vj = v[j];
-        let base = (2 * j) as u32;
         // input 0 → state j: candidates pm0 + v (from 2j), pm1 − v (from 2j+1)
         let c0 = pm0 + vj;
         let c1 = pm1 - vj;
         let k0 = if c0.is_nan() { NEG } else { c0 };
         let k1 = if c1.is_nan() { NEG } else { c1 };
         let take1 = k1 > k0;
-        let m = if take1 { k1 } else { k0 };
-        lo[j] = m;
-        slo[j] = if m == NEG { 0 } else { base + take1 as u32 };
+        lo[j] = if take1 { k1 } else { k0 };
+        row[j >> 6] |= (take1 as u64) << (j & 63);
         // input 1 → state j+half: candidates pm0 − v, pm1 + v
         let d0 = pm0 - vj;
         let d1 = pm1 + vj;
         let q0 = if d0.is_nan() { NEG } else { d0 };
         let q1 = if d1.is_nan() { NEG } else { d1 };
         let t1 = q1 > q0;
-        let q = if t1 { q1 } else { q0 };
-        hi[j] = q;
-        shi[j] = if q == NEG {
-            0
-        } else {
-            (base + t1 as u32) | (1 << 31)
-        };
+        hi[j] = if t1 { q1 } else { q0 };
+        let hj = half + j;
+        row[hj >> 6] |= (t1 as u64) << (hj & 63);
     }
 }
 
 /// Hand-vectorized AVX2 instantiation of [`acs_step`]: four butterflies per
-/// iteration. Bit-identical to the portable body — every lane performs the
-/// same IEEE add/sub/mul and the same compare/select sequence (no FMA
-/// contraction, NaN candidates blended to −∞ exactly like the scalar
-/// `is_nan` select), so `metric_next`/`surv` match `acs_step` bitwise.
+/// iteration, decision bits harvested straight from the compare masks with
+/// `movemask` (no survivor-index arithmetic or stores at all). Returns the
+/// packed decision word for this step; the caller guarantees `ns ≤ 64` so
+/// one u64 holds every state's bit.
+///
+/// Bit-identical to the portable body — every lane performs the same IEEE
+/// add/sub/mul and the same compare/select sequence (no FMA contraction).
+/// When both step metrics are finite, no candidate can be NaN (path metrics
+/// are finite or −∞, and finite ± finite / −∞ ± finite never produce NaN),
+/// so the NaN-sanitizing compare+blend pair is skipped on that fast path:
+/// the sanitize is the identity there, so results are unchanged bitwise.
+/// The compare masks themselves already encode the "−∞ winner stores
+/// decision 0" convention (`−∞ > −∞` and `NaN > x` are both false).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-#[allow(clippy::too_many_arguments)]
 unsafe fn acs_step_avx2(
-    s0: &[f64],
-    s1: &[f64],
+    b: &BatchedTrellis,
     m0: f64,
     m1: f64,
     metric: &[f64],
     metric_next: &mut [f64],
-    surv: &mut [u32],
-    _v: &mut [f64],
-) {
+) -> u64 {
     use std::arch::x86_64::*;
     const NEG: f64 = f64::NEG_INFINITY;
+    let (s0, s1) = (&b.s0[..], &b.s1[..]);
     let half = s0.len();
     let (lo, hi) = metric_next.split_at_mut(half);
-    let (slo, shi) = surv.split_at_mut(half);
     let m0v = _mm256_set1_pd(m0);
     let m1v = _mm256_set1_pd(m1);
     let negv = _mm256_set1_pd(NEG);
-    let hibit = _mm256_set1_epi64x(1i64 << 31);
-    // Picks the low 32-bit word of each 64-bit survivor lane for the packed
-    // u32 store (values are ≤ 2·half+1 | bit31, so the high word is zero).
-    let pack32 = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    let mut lo_acc: u64 = 0;
+    let mut hi_acc: u64 = 0;
     let mut j = 0usize;
-    while j + 4 <= half {
-        let s0v = _mm256_loadu_pd(s0.as_ptr().add(j));
-        let s1v = _mm256_loadu_pd(s1.as_ptr().add(j));
-        let vv = _mm256_add_pd(_mm256_mul_pd(s0v, m0v), _mm256_mul_pd(s1v, m1v));
-        // Deinterleave metric[2j..2j+8] into pm0 (even) / pm1 (odd) lanes.
-        let a = _mm256_loadu_pd(metric.as_ptr().add(2 * j));
-        let b = _mm256_loadu_pd(metric.as_ptr().add(2 * j + 4));
-        let t0 = _mm256_permute2f128_pd(a, b, 0x20);
-        let t1 = _mm256_permute2f128_pd(a, b, 0x31);
-        let pm0 = _mm256_unpacklo_pd(t0, t1);
-        let pm1 = _mm256_unpackhi_pd(t0, t1);
-        let basev = _mm256_setr_epi64x(
-            (2 * j) as i64,
-            (2 * j + 2) as i64,
-            (2 * j + 4) as i64,
-            (2 * j + 6) as i64,
-        );
-        // input 0 → states j..j+4: candidates pm0 + v, pm1 − v.
-        let c0 = _mm256_add_pd(pm0, vv);
-        let c1 = _mm256_sub_pd(pm1, vv);
-        let k0 = _mm256_blendv_pd(c0, negv, _mm256_cmp_pd(c0, c0, _CMP_UNORD_Q));
-        let k1 = _mm256_blendv_pd(c1, negv, _mm256_cmp_pd(c1, c1, _CMP_UNORD_Q));
-        let gt = _mm256_cmp_pd(k1, k0, _CMP_GT_OQ);
-        let m = _mm256_blendv_pd(k0, k1, gt);
-        _mm256_storeu_pd(lo.as_mut_ptr().add(j), m);
-        let take1 = _mm256_srli_epi64::<63>(_mm256_castpd_si256(gt));
-        let s64 = _mm256_add_epi64(basev, take1);
-        let zmask = _mm256_castpd_si256(_mm256_cmp_pd(m, negv, _CMP_EQ_OQ));
-        let s64 = _mm256_andnot_si256(zmask, s64);
-        let packed = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(s64, pack32));
-        _mm_storeu_si128(slo.as_mut_ptr().add(j) as *mut __m128i, packed);
-        // input 1 → states j+half..j+half+4: candidates pm0 − v, pm1 + v.
-        let d0 = _mm256_sub_pd(pm0, vv);
-        let d1 = _mm256_add_pd(pm1, vv);
-        let q0 = _mm256_blendv_pd(d0, negv, _mm256_cmp_pd(d0, d0, _CMP_UNORD_Q));
-        let q1 = _mm256_blendv_pd(d1, negv, _mm256_cmp_pd(d1, d1, _CMP_UNORD_Q));
-        let gt2 = _mm256_cmp_pd(q1, q0, _CMP_GT_OQ);
-        let q = _mm256_blendv_pd(q0, q1, gt2);
-        _mm256_storeu_pd(hi.as_mut_ptr().add(j), q);
-        let t1v = _mm256_srli_epi64::<63>(_mm256_castpd_si256(gt2));
-        let s64h = _mm256_or_si256(_mm256_add_epi64(basev, t1v), hibit);
-        let zmaskh = _mm256_castpd_si256(_mm256_cmp_pd(q, negv, _CMP_EQ_OQ));
-        let s64h = _mm256_andnot_si256(zmaskh, s64h);
-        let packedh = _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(s64h, pack32));
-        _mm_storeu_si128(shi.as_mut_ptr().add(j) as *mut __m128i, packedh);
-        j += 4;
+    if m0.is_finite() && m1.is_finite() {
+        // Fast path: no NaN candidates possible — skip the sanitize ops,
+        // and apply the ±1 signs as sign-bit XORs (bit-identical to the
+        // multiply for finite metrics; see `BatchedTrellis::sm0`).
+        while j + 4 <= half {
+            let sm0v = _mm256_loadu_pd(b.sm0.as_ptr().add(j));
+            let sm1v = _mm256_loadu_pd(b.sm1.as_ptr().add(j));
+            let vv = _mm256_add_pd(_mm256_xor_pd(m0v, sm0v), _mm256_xor_pd(m1v, sm1v));
+            // Deinterleave metric[2j..2j+8] into pm0 (even) / pm1 (odd) lanes.
+            let a = _mm256_loadu_pd(metric.as_ptr().add(2 * j));
+            let b = _mm256_loadu_pd(metric.as_ptr().add(2 * j + 4));
+            let t0 = _mm256_permute2f128_pd(a, b, 0x20);
+            let t1 = _mm256_permute2f128_pd(a, b, 0x31);
+            let pm0 = _mm256_unpacklo_pd(t0, t1);
+            let pm1 = _mm256_unpackhi_pd(t0, t1);
+            // input 0 → states j..j+4: candidates pm0 + v, pm1 − v.
+            let c0 = _mm256_add_pd(pm0, vv);
+            let c1 = _mm256_sub_pd(pm1, vv);
+            let gt = _mm256_cmp_pd(c1, c0, _CMP_GT_OQ);
+            let m = _mm256_blendv_pd(c0, c1, gt);
+            _mm256_storeu_pd(lo.as_mut_ptr().add(j), m);
+            lo_acc |= (_mm256_movemask_pd(gt) as u64) << j;
+            // input 1 → states j+half..j+half+4: candidates pm0 − v, pm1 + v.
+            let d0 = _mm256_sub_pd(pm0, vv);
+            let d1 = _mm256_add_pd(pm1, vv);
+            let gt2 = _mm256_cmp_pd(d1, d0, _CMP_GT_OQ);
+            let q = _mm256_blendv_pd(d0, d1, gt2);
+            _mm256_storeu_pd(hi.as_mut_ptr().add(j), q);
+            hi_acc |= (_mm256_movemask_pd(gt2) as u64) << j;
+            j += 4;
+        }
+    } else {
+        // Hostile metrics (±∞ / NaN LLRs): sanitize NaN candidates to −∞
+        // exactly like the scalar `is_nan` select.
+        while j + 4 <= half {
+            let s0v = _mm256_loadu_pd(s0.as_ptr().add(j));
+            let s1v = _mm256_loadu_pd(s1.as_ptr().add(j));
+            let vv = _mm256_add_pd(_mm256_mul_pd(s0v, m0v), _mm256_mul_pd(s1v, m1v));
+            let a = _mm256_loadu_pd(metric.as_ptr().add(2 * j));
+            let b = _mm256_loadu_pd(metric.as_ptr().add(2 * j + 4));
+            let t0 = _mm256_permute2f128_pd(a, b, 0x20);
+            let t1 = _mm256_permute2f128_pd(a, b, 0x31);
+            let pm0 = _mm256_unpacklo_pd(t0, t1);
+            let pm1 = _mm256_unpackhi_pd(t0, t1);
+            let c0 = _mm256_add_pd(pm0, vv);
+            let c1 = _mm256_sub_pd(pm1, vv);
+            let k0 = _mm256_blendv_pd(c0, negv, _mm256_cmp_pd(c0, c0, _CMP_UNORD_Q));
+            let k1 = _mm256_blendv_pd(c1, negv, _mm256_cmp_pd(c1, c1, _CMP_UNORD_Q));
+            let gt = _mm256_cmp_pd(k1, k0, _CMP_GT_OQ);
+            let m = _mm256_blendv_pd(k0, k1, gt);
+            _mm256_storeu_pd(lo.as_mut_ptr().add(j), m);
+            lo_acc |= (_mm256_movemask_pd(gt) as u64) << j;
+            let d0 = _mm256_sub_pd(pm0, vv);
+            let d1 = _mm256_add_pd(pm1, vv);
+            let q0 = _mm256_blendv_pd(d0, negv, _mm256_cmp_pd(d0, d0, _CMP_UNORD_Q));
+            let q1 = _mm256_blendv_pd(d1, negv, _mm256_cmp_pd(d1, d1, _CMP_UNORD_Q));
+            let gt2 = _mm256_cmp_pd(q1, q0, _CMP_GT_OQ);
+            let q = _mm256_blendv_pd(q0, q1, gt2);
+            _mm256_storeu_pd(hi.as_mut_ptr().add(j), q);
+            hi_acc |= (_mm256_movemask_pd(gt2) as u64) << j;
+            j += 4;
+        }
     }
     // Scalar tail for trellises whose half-size is not a multiple of 4
     // (e.g. the K=3 test code, half = 2) — same body as `acs_step`.
@@ -499,32 +521,26 @@ unsafe fn acs_step_avx2(
         let vj = s0[j] * m0 + s1[j] * m1;
         let pm0 = metric[2 * j];
         let pm1 = metric[2 * j + 1];
-        let base = (2 * j) as u32;
         let c0 = pm0 + vj;
         let c1 = pm1 - vj;
         let k0 = if c0.is_nan() { NEG } else { c0 };
         let k1 = if c1.is_nan() { NEG } else { c1 };
         let take1 = k1 > k0;
-        let m = if take1 { k1 } else { k0 };
-        lo[j] = m;
-        slo[j] = if m == NEG { 0 } else { base + take1 as u32 };
+        lo[j] = if take1 { k1 } else { k0 };
+        lo_acc |= (take1 as u64) << j;
         let d0 = pm0 - vj;
         let d1 = pm1 + vj;
         let q0 = if d0.is_nan() { NEG } else { d0 };
         let q1 = if d1.is_nan() { NEG } else { d1 };
         let t1 = q1 > q0;
-        let q = if t1 { q1 } else { q0 };
-        hi[j] = q;
-        shi[j] = if q == NEG {
-            0
-        } else {
-            (base + t1 as u32) | (1 << 31)
-        };
+        hi[j] = if t1 { q1 } else { q0 };
+        hi_acc |= (t1 as u64) << j;
         j += 1;
     }
+    lo_acc | (hi_acc << half)
 }
 
-/// Shared traceback over the survivor memory.
+/// Shared traceback over the direct path's u32 survivor memory.
 fn traceback(
     survivor: &[u32],
     metric: &[f64],
@@ -550,6 +566,61 @@ fn traceback(
         let packed = survivor[t * ns + state];
         bits[t] = packed >> 31 == 1;
         state = (packed & 0x7FFF_FFFF) as usize;
+    }
+    bits
+}
+
+/// Branchless traceback over the packed decision bits.
+///
+/// The butterfly structure makes the predecessor recoverable from the state
+/// label and its one decision bit: entry into state `s` used input
+/// `s ≥ half`, from predecessor `((s mod half)·2) | d`. Equivalence with
+/// [`traceback`]'s u32 walk:
+/// * starting from a finite-metric state, every state visited has a finite
+///   metric at its time (a finite winner implies a finite predecessor
+///   candidate, which implies a finite predecessor metric), so the u32 walk
+///   never reads a zeroed "unreachable" entry — both walks follow the same
+///   decisions;
+/// * starting from a `−∞`-metric state (all-`−∞` final metrics, or a
+///   terminated frame whose state 0 ended unreachable), the u32 walk reads
+///   survivor 0 — bit `false`, state 0. The explicit first-step special case
+///   below reproduces that jump; from then on, while state 0's metric stays
+///   `−∞` its packed decision bit is 0 (`−∞ > −∞` is false), so the packed
+///   walk also emits (`false`, state 0), and once state 0's metric turns
+///   finite both walks follow identical real survivors.
+fn traceback_packed(
+    words: &[u64],
+    wps: usize,
+    metric: &[f64],
+    ns: usize,
+    steps: usize,
+    terminated: bool,
+) -> Vec<bool> {
+    let half = ns / 2;
+    let mut state = if terminated {
+        0usize
+    } else {
+        let key = |m: &f64| if m.is_nan() { f64::NEG_INFINITY } else { *m };
+        metric
+            .iter()
+            .enumerate()
+            .max_by(|a, b| key(a.1).total_cmp(&key(b.1)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    let mut bits = vec![false; steps];
+    let mut t = steps;
+    if t > 0 && metric[state] == f64::NEG_INFINITY {
+        // Unreachable start: the u32 store holds 0 here (bit false, state 0).
+        t -= 1;
+        state = 0;
+    }
+    while t > 0 {
+        t -= 1;
+        let row = &words[t * wps..];
+        let d = (row[state >> 6] >> (state & 63)) & 1;
+        bits[t] = state >= half;
+        state = ((state & (half - 1)) << 1) | d as usize;
     }
     bits
 }
@@ -730,6 +801,51 @@ mod tests {
                 "terminated seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn batched_equivalent_to_direct_degenerate_llrs() {
+        // Degenerate whole-stream cases: all-negative, all-zero (every
+        // branch ties — the tie-break must resolve identically on both
+        // paths), and all −∞ (every path metric saturates). These stress
+        // the packed survivor words where every bit in a word is equal.
+        let dec = ViterbiDecoder::ieee80211();
+        for soft in [
+            vec![-1.5f64; 96],
+            vec![0.0f64; 96],
+            vec![f64::NEG_INFINITY; 96],
+        ] {
+            assert_eq!(
+                dec.decode_soft_truncated(&soft),
+                dec.decode_soft_truncated_direct(&soft)
+            );
+            assert_eq!(
+                dec.decode_soft_terminated(&soft),
+                dec.decode_soft_terminated_direct(&soft)
+            );
+        }
+    }
+
+    #[test]
+    fn k3_batched_matches_direct_on_hostile_llrs() {
+        // 4-state code: the packed survivor traceback stores 4 decisions per
+        // word slot — the narrowest layout — and must still agree with the
+        // direct u32 path under NaN/∞ contamination.
+        let dec = ViterbiDecoder::new(3, 0b111, 0b101);
+        assert!(dec.batched.is_some());
+        let mut soft = rand_llrs(42, 80);
+        soft[0] = f64::NAN;
+        soft[9] = f64::INFINITY;
+        soft[10] = f64::NEG_INFINITY;
+        soft[11] = -0.0;
+        assert_eq!(
+            dec.decode_soft_truncated(&soft),
+            dec.decode_soft_truncated_direct(&soft)
+        );
+        assert_eq!(
+            dec.decode_soft_terminated(&soft),
+            dec.decode_soft_terminated_direct(&soft)
+        );
     }
 
     #[test]

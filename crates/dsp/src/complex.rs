@@ -10,7 +10,12 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + j·im` with `f64` components.
+///
+/// `repr(C)` pins the `[re, im]` field order so slices of `Complex` can be
+/// reinterpreted as interleaved `f64` lanes by the vectorized kernels in
+/// [`crate::fir`] and [`crate::soa`].
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex {
     /// Real (in-phase) component.
     pub re: f64,

@@ -99,6 +99,28 @@ impl FftPlan {
         self.butterflies(buf, false);
     }
 
+    /// In-place forward FFT of many same-size transforms packed back to
+    /// back: `buf` holds `buf.len() / n` contiguous transforms, each
+    /// permuted and butterflied with exactly the op sequence of
+    /// [`Self::forward`] — bit-identical per transform at every batch size.
+    /// One plan invocation amortizes the dispatch and keeps the twiddle and
+    /// bit-reversal tables hot across the whole batch (the receive chain
+    /// uses this to transform [`crate::soa`]-batched OFDM symbols).
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of the plan size.
+    pub fn forward_many(&self, buf: &mut [Complex]) {
+        assert_eq!(
+            buf.len() % self.n,
+            0,
+            "batch buffer must be a multiple of the plan size"
+        );
+        for chunk in buf.chunks_exact_mut(self.n) {
+            self.permute(chunk);
+            self.butterflies(chunk, false);
+        }
+    }
+
     /// In-place inverse FFT (includes the `1/N` normalization).
     ///
     /// # Panics

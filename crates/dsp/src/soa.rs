@@ -433,6 +433,77 @@ mod avx2 {
     ) {
         super::xcorr_body_impl(xr, xi, tr, ti, yr, yi)
     }
+    /// Fused batch demapper over an identity-labeled constellation
+    /// (`labels[v] = v`): per equalized point, min squared distance per label
+    /// bit and side, then the scaled LLR `(d0 − d1) · csi/nv` written straight
+    /// to `out`. Identity labels inside an aligned block of four consecutive
+    /// points mean bit 0 follows the fixed lane pattern (0,1,0,1) and bit 1
+    /// follows (0,0,1,1) — immediate blends, no label loads — while bits ≥ 2
+    /// are constant across the block, so the block's distances feed exactly
+    /// one accumulator chosen by a scalar bit test (the other side's
+    /// candidates would all be `+inf`, the min identity). Value-identical to
+    /// per-point [`demap_mins`] by the same argument documented there: each
+    /// `(bit, side)` accumulator mins the same multiset of distances (never
+    /// `-0.0`, NaN loses on every path), and min over such a multiset is
+    /// order-independent.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn demap_llrs_batch(
+        eq_re: &[f64],
+        eq_im: &[f64],
+        csi: &[f64],
+        nv: f64,
+        cre: &[f64],
+        cim: &[f64],
+        nbits: usize,
+        out: &mut [f64],
+    ) {
+        use std::arch::x86_64::*;
+        let n = cre.len();
+        debug_assert!(n.is_multiple_of(4) && n >= 8);
+        let infv = _mm256_set1_pd(f64::INFINITY);
+        for p in 0..eq_re.len() {
+            let prev = _mm256_set1_pd(eq_re[p]);
+            let pimv = _mm256_set1_pd(eq_im[p]);
+            let mut acc0 = [infv; 6];
+            let mut acc1 = [infv; 6];
+            let mut i = 0usize;
+            while i + 4 <= n {
+                let cr = _mm256_loadu_pd(cre.as_ptr().add(i));
+                let ci = _mm256_loadu_pd(cim.as_ptr().add(i));
+                let dr = _mm256_sub_pd(prev, cr);
+                let di = _mm256_sub_pd(pimv, ci);
+                let d = _mm256_add_pd(_mm256_mul_pd(dr, dr), _mm256_mul_pd(di, di));
+                // Labels i..i+3 with i % 4 == 0: bit 0 is set on lanes 1,3
+                // and bit 1 on lanes 2,3.
+                acc0[0] = _mm256_min_pd(_mm256_blend_pd(d, infv, 0b1010), acc0[0]);
+                acc1[0] = _mm256_min_pd(_mm256_blend_pd(infv, d, 0b1010), acc1[0]);
+                if nbits >= 2 {
+                    acc0[1] = _mm256_min_pd(_mm256_blend_pd(d, infv, 0b1100), acc0[1]);
+                    acc1[1] = _mm256_min_pd(_mm256_blend_pd(infv, d, 0b1100), acc1[1]);
+                }
+                for b in 2..nbits {
+                    // Bit `b` of labels i..i+3 equals bit `b` of `i` for the
+                    // whole block (i % 4 == 0, lane offset < 4).
+                    if (i >> b) & 1 == 0 {
+                        acc0[b] = _mm256_min_pd(d, acc0[b]);
+                    } else {
+                        acc1[b] = _mm256_min_pd(d, acc1[b]);
+                    }
+                }
+                i += 4;
+            }
+            let scale = csi[p] / nv;
+            let mut lanes = [0.0f64; 4];
+            for b in 0..nbits {
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc0[b]);
+                let d0 = lanes[0].min(lanes[1]).min(lanes[2]).min(lanes[3]);
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc1[b]);
+                let d1 = lanes[0].min(lanes[1]).min(lanes[2]).min(lanes[3]);
+                out[p * nbits + b] = (d0 - d1) * scale;
+            }
+        }
+    }
 }
 
 #[inline]
@@ -587,6 +658,68 @@ pub fn demap_mins(
         return unsafe { avx2::demap_mins(point.re, point.im, cre, cim, labels, nbits) };
     }
     demap_mins_impl(point.re, point.im, cre, cim, labels, nbits)
+}
+
+/// Fused batch demapper: max-log LLRs for a whole planar batch of equalized
+/// points against one constellation, `out[p·nbits + b] = (d0 − d1) · scale`
+/// with `scale = csi[p] / nv`. Labels must be the identity (`labels[v] = v`,
+/// true for the cached constellation tables by construction) — that is what
+/// lets the AVX2 path replace per-lane label mask arithmetic with immediate
+/// blends (bits 0–1 have a fixed lane pattern inside every aligned block of
+/// 4 consecutive labels) and whole-block accumulator selects (bits ≥ 2 are
+/// constant across such a block). Non-identity labels, short
+/// constellations, or `BACKFI_SIMD=off` fall back to the per-point
+/// [`demap_mins`] scalar sequence.
+///
+/// Value-identical to per-point [`demap_mins`] + scale: each `(bit, side)`
+/// min reduces the same multiset of squared distances, which are never
+/// `-0.0` (sums of self-products), so the reduction order cannot change the
+/// result; NaN distances lose on every path (`vminpd(d, acc)` returns `acc`
+/// when `d` is NaN — exactly `f64::min(acc, d)` for never-NaN `acc`).
+///
+/// # Panics
+/// Panics if planar slice lengths differ or `nbits > 6`.
+#[allow(clippy::too_many_arguments)]
+pub fn demap_llrs_batch(
+    eq_re: &[f64],
+    eq_im: &[f64],
+    csi: &[f64],
+    nv: f64,
+    cre: &[f64],
+    cim: &[f64],
+    labels: &[u8],
+    nbits: usize,
+    out: &mut Vec<f64>,
+) {
+    assert!(
+        eq_re.len() == eq_im.len() && eq_re.len() == csi.len(),
+        "demap_llrs_batch: point length mismatch"
+    );
+    assert!(
+        cre.len() == cim.len() && cre.len() == labels.len(),
+        "demap_llrs_batch: table length mismatch"
+    );
+    assert!(nbits <= 6, "demap_llrs_batch: at most 6 bits per symbol");
+    let start = out.len();
+    out.resize(start + eq_re.len() * nbits, 0.0);
+    let dst = &mut out[start..];
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2()
+        && cre.len().is_multiple_of(4)
+        && cre.len() >= 8
+        && labels.iter().enumerate().all(|(v, &l)| l as usize == v)
+    {
+        // SAFETY: AVX2 presence established by runtime detection.
+        unsafe { avx2::demap_llrs_batch(eq_re, eq_im, csi, nv, cre, cim, nbits, dst) };
+        return;
+    }
+    for p in 0..eq_re.len() {
+        let (d0, d1) = demap_mins_impl(eq_re[p], eq_im[p], cre, cim, labels, nbits);
+        let scale = csi[p] / nv;
+        for b in 0..nbits {
+            dst[p * nbits + b] = (d0[b] - d1[b]) * scale;
+        }
+    }
 }
 
 /// Planar per-subcarrier equalization: for each `i`,

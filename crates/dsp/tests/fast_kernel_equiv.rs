@@ -99,6 +99,38 @@ fn short_kernels_stay_bit_identical() {
 }
 
 #[test]
+fn filter_axpy_region_is_bit_identical_to_direct() {
+    // The scatter-AXPY AVX2 path covers 8 ≤ taps < 48 below the FFT product
+    // floor. It reorders nothing — each output still accumulates
+    // fl(fl(xᵢ·h[k]) + y[i+k]) in the same i-outer/k-inner order as
+    // `filter_direct`, and the zero-input skip is replicated — so the
+    // dispatcher must stay BIT-identical there, not merely close: the link
+    // channel filters (h_env = 24 taps) feed byte-pinned figure output.
+    // Hostile lanes (NaN/∞/denormal x, zero runs) must propagate the same.
+    let mut rng = SplitMix64::new(0xAE);
+    for taps in [8usize, 9, 16, 24, 32, 47] {
+        let mut x = cgauss_vec(&mut rng, 6000, 1.0);
+        for v in x.iter_mut().take(400).skip(120) {
+            *v = Complex::ZERO; // leading-silence style zero run
+        }
+        x[700] = Complex::new(f64::NAN, 0.5);
+        x[701] = Complex::new(f64::INFINITY, -1.0);
+        x[702] = Complex::new(5e-324, -0.0);
+        let h = cgauss_vec(&mut rng, taps, 1.0);
+        let fast = filter(&h, &x);
+        let direct = filter_direct(&h, &x);
+        assert_eq!(fast.len(), direct.len());
+        for (i, (a, b)) in fast.iter().zip(&direct).enumerate() {
+            assert_eq!(
+                (a.re.to_bits(), a.im.to_bits()),
+                (b.re.to_bits(), b.im.to_bits()),
+                "taps {taps} sample {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn dispatch_is_deterministic() {
     // Same inputs twice → bit-identical output, whichever path runs.
     let mut rng = SplitMix64::new(0xD5);

@@ -12,7 +12,7 @@ use backfi_coding::{CodeRate, ViterbiDecoder};
 use backfi_dsp::{stats, Complex};
 use backfi_tag::config::TagModulation;
 use backfi_tag::framer::{FrameError, TagFrame};
-use backfi_tag::psk::{bits_to_phase, phase_to_bits, soft_bits};
+use backfi_tag::psk::{bits_to_phase, phase_to_bits, SoftDemapper};
 
 /// Decoded link-quality metrics.
 #[derive(Clone, Debug)]
@@ -40,8 +40,11 @@ pub fn decode_symbols(
     let mut llrs = Vec::with_capacity(estimates.len() * bps);
     {
         let _t = backfi_obs::span("decode.soft_bits");
+        // One cached planar constellation for the whole burst: `from_polar`
+        // runs once per point here instead of once per point·bit·symbol.
+        let demap = SoftDemapper::new(modulation, 1.0);
         for est in estimates {
-            soft_bits(modulation, est.z, 1.0, est.noise_var, &mut llrs);
+            demap.soft_bits(est.z, est.noise_var, &mut llrs);
         }
     }
 

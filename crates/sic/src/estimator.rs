@@ -28,6 +28,40 @@ use backfi_dsp::Complex;
 /// windowed difference (the "edge corrections" per entry are the two prefix
 /// lookups per run). The input-power sum falls out of the lag-0 diagonal for
 /// free, so no separate mean-power pass is needed.
+/// Fill `prefix[k][m+1]` for `m ∈ [lag0+k, n)` with the sequential lag-product
+/// prefix sums `Σ conj(x[m])·x[m−(lag0+k)]` for `G` consecutive lags, plus
+/// zeros below each lag's start. One fused pass runs the `G` chains
+/// interleaved: each chain is a serial float-add dependency (4–5 cycles per
+/// sample on its own), so overlapping independent chains recovers ~`G`× of
+/// throughput. The **per-lag addition order — the bit-pinned quantity that
+/// the canceller taps, and through them the figure tables, depend on — is
+/// unchanged**: lane `k` performs exactly the adds of the old
+/// one-lag-at-a-time loop, in the same order, against its own accumulator.
+fn lag_prefix_group<const G: usize>(x: &[Complex], lag0: usize, prefix: &mut [Vec<Complex>]) {
+    let n = x.len();
+    let lmax = (lag0 + G - 1).min(n);
+    let mut acc = [Complex::ZERO; G];
+    // Ragged heads: lanes with smaller lags start earlier; the prefix is
+    // zero at and below each lane's lag.
+    for k in 0..G {
+        let lag = lag0 + k;
+        for v in prefix[k].iter_mut().take(lag.min(n) + 1) {
+            *v = Complex::ZERO;
+        }
+        for m in lag..lmax {
+            acc[k] += x[m].conj() * x[m - lag];
+            prefix[k][m + 1] = acc[k];
+        }
+    }
+    // Steady state: all G chains advance together.
+    for m in lmax..n {
+        for k in 0..G {
+            acc[k] += x[m].conj() * x[m - (lag0 + k)];
+            prefix[k][m + 1] = acc[k];
+        }
+    }
+}
+
 fn normal_equations(
     x: &[Complex],
     y: &[Complex],
@@ -38,28 +72,37 @@ fn normal_equations(
     let mut a = CMat::zeros(taps, taps);
     let mut b = vec![Complex::ZERO; taps];
 
-    // Gram matrix from per-lag prefix sums.
-    let mut prefix = vec![Complex::ZERO; n + 1];
-    for lag in 0..taps {
-        for m in 0..lag {
-            prefix[m + 1] = Complex::ZERO;
+    // Gram matrix from per-lag prefix sums, four lag chains per pass.
+    let mut prefix: Vec<Vec<Complex>> = (0..4.min(taps))
+        .map(|_| vec![Complex::ZERO; n + 1])
+        .collect();
+    let mut lag0 = 0usize;
+    while lag0 < taps {
+        let group = (taps - lag0).min(4);
+        match group {
+            4 => lag_prefix_group::<4>(x, lag0, &mut prefix),
+            3 => lag_prefix_group::<3>(x, lag0, &mut prefix),
+            2 => lag_prefix_group::<2>(x, lag0, &mut prefix),
+            _ => lag_prefix_group::<1>(x, lag0, &mut prefix),
         }
-        for m in lag..n {
-            prefix[m + 1] = prefix[m] + x[m].conj() * x[m - lag];
-        }
-        for j in 0..taps - lag {
-            let k = j + lag;
-            // Observation i sums g_lag[i−j]; run [lo, hi) maps to the
-            // prefix window [lo−j, hi−j) (lo ≥ taps−1 ≥ j keeps it valid).
-            let mut acc = Complex::ZERO;
-            for &(lo, hi) in runs {
-                acc += prefix[hi - j] - prefix[lo - j];
+        for (lane, pref) in prefix.iter().enumerate().take(group) {
+            let lag = lag0 + lane;
+            for j in 0..taps - lag {
+                let k = j + lag;
+                // Observation i sums g_lag[i−j]; run [lo, hi) maps to the
+                // prefix window [lo−j, hi−j) (lo ≥ taps−1 ≥ j keeps it
+                // valid).
+                let mut acc = Complex::ZERO;
+                for &(lo, hi) in runs {
+                    acc += pref[hi - j] - pref[lo - j];
+                }
+                a[(j, k)] = acc;
+                if lag != 0 {
+                    a[(k, j)] = acc.conj();
+                }
             }
-            a[(j, k)] = acc;
-            if lag != 0 {
-                a[(k, j)] = acc.conj();
-            }
         }
+        lag0 += group;
     }
 
     // Cross-correlation vector, O(obs·taps) — already the lower bound.

@@ -59,7 +59,25 @@ pub fn phase_to_bits(m: TagModulation, phase: f64) -> Vec<bool> {
 /// Per-bit soft metrics (max-log LLR, positive ⇒ bit 1) for a received
 /// phasor `z` whose expected magnitude is `amp` and whose noise variance is
 /// `noise_var`.
+///
+/// Thin wrapper over [`SoftDemapper`]; callers demapping many symbols with
+/// the same `(modulation, amp)` should build the demapper once instead (the
+/// construction is what pays the `sin`/`cos` per constellation point).
 pub fn soft_bits(
+    m: TagModulation,
+    z: backfi_dsp::Complex,
+    amp: f64,
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
+    SoftDemapper::new(m, amp).soft_bits(z, noise_var, out);
+}
+
+/// Reference per-bit soft demapper: recomputes every constellation point
+/// (`from_polar` per point per bit) on each call. Kept as the bit-exact
+/// oracle the cached [`SoftDemapper`] is pinned against in the `_equiv`
+/// tests; use [`SoftDemapper`] in hot paths.
+pub fn soft_bits_direct(
     m: TagModulation,
     z: backfi_dsp::Complex,
     amp: f64,
@@ -83,6 +101,71 @@ pub fn soft_bits(
             }
         }
         out.push((d0 - d1) * scale);
+    }
+}
+
+/// Cached Gray-PSK soft demapper: the constellation for one
+/// `(modulation, amp)` pair, stored as planar `re`/`im` tables in natural
+/// bit-value order.
+///
+/// Construction computes each point with exactly the
+/// `Complex::from_polar(amp, 2π·gray(v)/order)` expression the
+/// [`soft_bits_direct`] reference uses, so the cached distances — and
+/// therefore the emitted LLRs — are bit-identical to the reference:
+/// per bit, the reference takes `min` over the same distance multiset in the
+/// same `v` order, and hoisting the (identical) distance computation out of
+/// the bit loop cannot change any `f64::min` chain.
+#[derive(Clone, Debug)]
+pub struct SoftDemapper {
+    order: usize,
+    bits: usize,
+    /// Planar constellation, natural bit-value order: `pre[v] + j·pim[v]`
+    /// is the point a symbol with bit value `v` is transmitted as.
+    pre: [f64; 16],
+    pim: [f64; 16],
+}
+
+impl SoftDemapper {
+    /// Precompute the planar constellation tables for `(m, amp)`.
+    pub fn new(m: TagModulation, amp: f64) -> Self {
+        let mut d = SoftDemapper {
+            order: m.order(),
+            bits: m.bits_per_symbol(),
+            pre: [0.0; 16],
+            pim: [0.0; 16],
+        };
+        for v in 0..d.order {
+            let idx = gray_encode(v);
+            let phase = 2.0 * std::f64::consts::PI * idx as f64 / m.order() as f64;
+            let p = backfi_dsp::Complex::from_polar(amp, phase);
+            d.pre[v] = p.re;
+            d.pim[v] = p.im;
+        }
+        d
+    }
+
+    /// Append the per-bit LLRs for phasor `z` to `out`; bit-identical to
+    /// [`soft_bits_direct`] with the same `(m, amp)`.
+    pub fn soft_bits(&self, z: backfi_dsp::Complex, noise_var: f64, out: &mut Vec<f64>) {
+        let scale = 1.0 / noise_var.max(1e-18);
+        let mut dist = [0.0f64; 16];
+        for (v, d) in dist.iter_mut().enumerate().take(self.order) {
+            let dre = z.re - self.pre[v];
+            let dim = z.im - self.pim[v];
+            *d = dre * dre + dim * dim;
+        }
+        for bit in 0..self.bits {
+            let mut d0 = f64::INFINITY;
+            let mut d1 = f64::INFINITY;
+            for (v, &d) in dist[..self.order].iter().enumerate() {
+                if (v >> bit) & 1 == 1 {
+                    d1 = d1.min(d);
+                } else {
+                    d0 = d0.min(d);
+                }
+            }
+            out.push((d0 - d1) * scale);
+        }
     }
 }
 
@@ -153,6 +236,43 @@ mod tests {
         let m = TagModulation::Qpsk;
         let bits = phase_to_bits(m, -0.1);
         assert_eq!(bits, phase_to_bits(m, 2.0 * std::f64::consts::PI - 0.1));
+    }
+
+    #[test]
+    fn soft_bits_cached_matches_direct_bitwise() {
+        use backfi_dsp::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0xD5);
+        for m in TagModulation::ALL {
+            for amp in [1.0, 0.37, 2.5] {
+                let demap = SoftDemapper::new(m, amp);
+                let mut zs: Vec<Complex> = (0..64)
+                    .map(|_| {
+                        Complex::new(4.0 * (rng.next_f64() - 0.5), 4.0 * (rng.next_f64() - 0.5))
+                    })
+                    .collect();
+                // Hostile lanes: the cached path must reproduce the
+                // reference's NaN/∞ propagation exactly.
+                zs.push(Complex::new(f64::NAN, 0.3));
+                zs.push(Complex::new(f64::INFINITY, -1.0));
+                zs.push(Complex::new(0.0, f64::NEG_INFINITY));
+                for z in zs {
+                    for nv in [1e-3, 0.2, 0.0] {
+                        let mut a = Vec::new();
+                        let mut b = Vec::new();
+                        demap.soft_bits(z, nv, &mut a);
+                        soft_bits_direct(m, z, amp, nv, &mut b);
+                        assert_eq!(a.len(), b.len());
+                        for (i, (p, q)) in a.iter().zip(&b).enumerate() {
+                            assert_eq!(
+                                p.to_bits(),
+                                q.to_bits(),
+                                "{m:?} amp {amp} z {z:?} bit {i}: {p} vs {q}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

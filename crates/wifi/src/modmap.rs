@@ -90,6 +90,16 @@ struct ConstTable {
     re: [f64; 64],
     im: [f64; 64],
     labels: [u8; 64],
+    /// Axis-separable form: square Gray constellations factor into
+    /// independent I/Q PAM axes — the low `rb` label bits select the I
+    /// level `rax[v & (2^rb−1)]`, the high `ib` bits the Q level
+    /// `iax[v >> rb]`. Verified bitwise at build time (`sep`); the batch
+    /// demapper falls back to the full 2-D scan if it ever fails.
+    sep: bool,
+    rb: usize,
+    ib: usize,
+    rax: [f64; 8],
+    iax: [f64; 8],
 }
 
 /// Process-wide cached [`ConstTable`]s, one per modulation. The reference
@@ -106,18 +116,38 @@ fn table(modulation: Modulation) -> &'static ConstTable {
             Modulation::Qam64,
         ]
         .map(|m| {
+            let nbits = m.bits_per_subcarrier();
             let mut t = ConstTable {
-                n: 1 << m.bits_per_subcarrier(),
-                nbits: m.bits_per_subcarrier(),
+                n: 1 << nbits,
+                nbits,
                 re: [0.0; 64],
                 im: [0.0; 64],
                 labels: [0; 64],
+                sep: false,
+                rb: nbits - nbits / 2,
+                ib: nbits / 2,
+                rax: [0.0; 8],
+                iax: [0.0; 8],
             };
             for (v, (p, _)) in constellation(m).into_iter().enumerate() {
                 t.re[v] = p.re;
                 t.im[v] = p.im;
                 t.labels[v] = v as u8;
             }
+            // Axis tables: I levels from the points with all Q bits zero, Q
+            // levels from the points with all I bits zero; then prove every
+            // point factors through them bitwise.
+            let rmask = (1usize << t.rb) - 1;
+            for j in 0..1usize << t.rb {
+                t.rax[j] = t.re[j];
+            }
+            for j in 0..1usize << t.ib {
+                t.iax[j] = t.im[j << t.rb];
+            }
+            t.sep = (0..t.n).all(|v| {
+                t.re[v].to_bits() == t.rax[v & rmask].to_bits()
+                    && t.im[v].to_bits() == t.iax[v >> t.rb].to_bits()
+            });
             t
         })
     });
@@ -154,6 +184,127 @@ pub fn demap_soft(
         backfi_dsp::soa::demap_mins(point, &t.re[..t.n], &t.im[..t.n], &t.labels[..t.n], t.nbits);
     for bit in 0..t.nbits {
         out.push((d0[bit] - d1[bit]) * scale);
+    }
+}
+
+/// Fused soft demap of a whole planar batch of equalized points (the
+/// receive chain passes every symbol of a batch in one call). Routes the
+/// batch to [`backfi_dsp::soa::demap_llrs_batch`], which exploits the cached
+/// tables' identity labeling (`labels[v] = v`) to hoist the table fetch,
+/// modulation dispatch, and label mask arithmetic out of the per-subcarrier
+/// loop. Value-identical to per-point [`demap_soft`] calls at every batch
+/// size (see the kernel's reassociation argument), and pinned against
+/// [`demap_soft_direct`] by the `_equiv` tests.
+///
+/// # Panics
+/// Panics if the planar slices differ in length.
+pub fn demap_soft_batch(
+    modulation: Modulation,
+    eq_re: &[f64],
+    eq_im: &[f64],
+    csi: &[f64],
+    noise_var: f64,
+    out: &mut Vec<f64>,
+) {
+    let t = table(modulation);
+    let nv = noise_var.max(1e-12);
+    if t.sep {
+        // O(2·√M) separable axis scan instead of the O(M) 2-D scan.
+        match (t.rb, t.ib) {
+            (1, 0) => demap_sep_batch::<1, 0>(t, eq_re, eq_im, csi, nv, out),
+            (1, 1) => demap_sep_batch::<1, 1>(t, eq_re, eq_im, csi, nv, out),
+            (2, 2) => demap_sep_batch::<2, 2>(t, eq_re, eq_im, csi, nv, out),
+            (3, 3) => demap_sep_batch::<3, 3>(t, eq_re, eq_im, csi, nv, out),
+            _ => unreachable!("no constellation maps to ({}, {})", t.rb, t.ib),
+        }
+        return;
+    }
+    backfi_dsp::soa::demap_llrs_batch(
+        eq_re,
+        eq_im,
+        csi,
+        nv,
+        &t.re[..t.n],
+        &t.im[..t.n],
+        &t.labels[..t.n],
+        t.nbits,
+        out,
+    );
+}
+
+/// Separable max-log demap of a planar batch: per point, `2^RB + 2^IB`
+/// axis distances instead of `2^(RB+IB)` point distances.
+///
+/// **Value-identical to the 2-D scan.** Every point distance is
+/// `fl(dre[j] + dim[j2])` over the product set of axis distances, and
+/// float addition is monotone in both operands, so the minimum over any
+/// subset `{bit fixed} × {all}` equals `fl(min dre + min dim)` bitwise —
+/// the candidate built from the two axis minima is a member of the subset
+/// and no member can round below it. Axis minima use the same
+/// `f64::min`-chain semantics as the reference (a NaN input point NaNs
+/// *every* distance on both paths, leaving the same +∞ minima).
+fn demap_sep_batch<const RB: usize, const IB: usize>(
+    t: &ConstTable,
+    eq_re: &[f64],
+    eq_im: &[f64],
+    csi: &[f64],
+    nv: f64,
+    out: &mut Vec<f64>,
+) {
+    assert_eq!(eq_re.len(), eq_im.len(), "planar batch length mismatch");
+    assert_eq!(eq_re.len(), csi.len(), "planar batch length mismatch");
+    let nbits = RB + IB;
+    debug_assert_eq!(nbits, t.nbits);
+    let start = out.len();
+    out.resize(start + eq_re.len() * nbits, 0.0);
+    let dst = &mut out[start..];
+    for p in 0..eq_re.len() {
+        let pre = eq_re[p];
+        let pim = eq_im[p];
+        let mut dre = [0.0f64; 8];
+        let mut dim = [0.0f64; 8];
+        for (j, d) in dre.iter_mut().enumerate().take(1 << RB) {
+            let dx = pre - t.rax[j];
+            *d = dx * dx;
+        }
+        for (j, d) in dim.iter_mut().enumerate().take(1 << IB) {
+            let dy = pim - t.iax[j];
+            *d = dy * dy;
+        }
+        // Per-bit split minima along each axis, plus the whole-axis minimum
+        // (min of any split — the multiset is order-independent).
+        let mut r0 = [f64::INFINITY; 3];
+        let mut r1 = [f64::INFINITY; 3];
+        for (j, &d) in dre.iter().enumerate().take(1 << RB) {
+            for b in 0..RB {
+                if (j >> b) & 1 == 0 {
+                    r0[b] = d.min(r0[b]);
+                } else {
+                    r1[b] = d.min(r1[b]);
+                }
+            }
+        }
+        let mre = if RB > 0 { r0[0].min(r1[0]) } else { dre[0] };
+        let mut i0 = [f64::INFINITY; 3];
+        let mut i1 = [f64::INFINITY; 3];
+        for (j, &d) in dim.iter().enumerate().take(1 << IB) {
+            for b in 0..IB {
+                if (j >> b) & 1 == 0 {
+                    i0[b] = d.min(i0[b]);
+                } else {
+                    i1[b] = d.min(i1[b]);
+                }
+            }
+        }
+        let mim = if IB > 0 { i0[0].min(i1[0]) } else { dim[0] };
+        let scale = csi[p] / nv;
+        let row = &mut dst[p * nbits..(p + 1) * nbits];
+        for b in 0..RB {
+            row[b] = ((r0[b] + mim) - (r1[b] + mim)) * scale;
+        }
+        for b in 0..IB {
+            row[RB + b] = ((mre + i0[b]) - (mre + i1[b])) * scale;
+        }
     }
 }
 
@@ -305,6 +456,48 @@ mod tests {
                         assert!(
                             a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
                             "{m:?} point {p:?} bit {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demap_soft_batch_equiv_direct() {
+        // The fused batch demapper (separable axis scan for the square
+        // constellations, SoA fallback otherwise) against the
+        // rebuild-every-call per-point reference: bit-identical LLR rows at
+        // every batch length — including lengths that are not a multiple of
+        // any SIMD lane width — with NaN/∞ lanes and per-point csi.
+        for m in [Bpsk, Qpsk, Qam16, Qam64] {
+            for len in [1usize, 5, 17, 48, 53] {
+                let mut re = Vec::with_capacity(len);
+                let mut im = Vec::with_capacity(len);
+                let mut csi = Vec::with_capacity(len);
+                for i in 0..len {
+                    re.push(((i * 7 + 3) % 13) as f64 * 0.21 - 1.2);
+                    im.push(((i * 5 + 1) % 11) as f64 * 0.27 - 1.3);
+                    csi.push(0.2 + (i % 4) as f64 * 0.45);
+                }
+                if len >= 5 {
+                    re[1] = f64::NAN;
+                    im[2] = f64::INFINITY;
+                    re[3] = f64::NEG_INFINITY;
+                    csi[4] = 0.0;
+                }
+                for nv in [0.15, 1e-14] {
+                    let mut fast = Vec::new();
+                    demap_soft_batch(m, &re, &im, &csi, nv, &mut fast);
+                    let mut slow = Vec::new();
+                    for i in 0..len {
+                        demap_soft_direct(m, Complex::new(re[i], im[i]), csi[i], nv, &mut slow);
+                    }
+                    assert_eq!(fast.len(), slow.len(), "{m:?} len {len}");
+                    for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                        assert!(
+                            a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()),
+                            "{m:?} len {len} nv {nv} llr {i}: {a} vs {b}"
                         );
                     }
                 }
